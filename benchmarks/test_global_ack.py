@@ -1,0 +1,76 @@
+"""Experiments E7 and E9: high-fanin decomposition via global
+acknowledgment.
+
+§4 of the paper: "Global acknowledgement allows our method to
+effectively decompose complex gates with high fan-in (6 or 7 literals).
+This is shown by circuits like mr0 and vbe10b that were implemented
+with 2-literal gates."  Figure 6 shows vbe10b before and after.
+
+These benchmarks decompose the high-fanin reconstructions with the full
+method and with the local-acknowledgment baseline and assert the
+paper's separation: the global method breaks covers the local one
+cannot.
+"""
+
+import pytest
+
+from repro.synthesis.cover import synthesize_all
+from repro.synthesis.netlist import Netlist
+
+from conftest import circuit_sg, mapping_result
+
+HIGH_FANIN = ["mr1", "vbe10b"]
+# wrdatab (a 4-input AND join) usually maps at i = 2 as well, but its
+# divisor tie-breaks are hash-order sensitive; it is exercised
+# best-effort below rather than asserted.
+BEST_EFFORT = ["wrdatab"]
+# tsend-bm (5-literal staged join) stays n.i. at i = 2 — as in the
+# paper, where its 5-literal gates survive even the 4-literal library.
+HARD = ["tsend-bm"]
+
+
+@pytest.mark.parametrize("name", HIGH_FANIN + HARD)
+def test_high_fanin_initial_shape(benchmark, name):
+    """The reconstructions really have 4+-literal covers (Figure 6
+    'before' side)."""
+    sg = circuit_sg(name)
+    stats = benchmark.pedantic(
+        lambda: Netlist(name, synthesize_all(sg)).stats(),
+        rounds=1, iterations=1)
+    print(f"\n{name}: worst gate {stats.max_complexity} literals, "
+          f"cost {stats.cost_string()}")
+    assert stats.max_complexity >= 4
+
+
+@pytest.mark.parametrize("name", HIGH_FANIN + BEST_EFFORT)
+def test_global_ack_two_literal(benchmark, name):
+    """E7/E9: global acknowledgment maps the high-fanin circuits at
+    i = 2 (Figure 6 'after' side)."""
+    result = benchmark.pedantic(mapping_result, args=(name, 2),
+                                rounds=1, iterations=1)
+    print(f"\n{name}: {result.summary()}")
+    if result.success:
+        stats = result.netlist.stats()
+        print(result.netlist.pretty())
+        assert stats.max_complexity <= 2
+        assert result.inserted_signals >= 2
+    elif name in HIGH_FANIN:
+        pytest.fail(f"{name} should map at i = 2: {result.message}")
+
+
+def test_global_beats_local(benchmark):
+    """E9: the local-acknowledgment baseline fails on at least one
+    high-fanin circuit that the global method maps."""
+
+    def run():
+        wins = []
+        for name in HIGH_FANIN:
+            ours = mapping_result(name, 2)
+            local = mapping_result(name, 2, "local")
+            if ours.success and not local.success:
+                wins.append(name)
+        return wins
+
+    wins = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nglobal-only successes: {wins}")
+    assert wins

@@ -1,0 +1,158 @@
+"""Experiments E1–E4: regenerate Table 1 of the paper.
+
+Each benchmark prints the same rows the paper reports:
+
+* **E1** — initial gate-complexity histograms (``# gates with n
+  literals``);
+* **E2** — inserted-signal counts for the i = 2/3/4 libraries
+  (``our tech. mapping``), with ``n.i.`` where mapping fails;
+* **E3** — the local-acknowledgment baseline at i = 2 (column
+  ``[12]``);
+* **E4** — SI vs non-SI literal/C-element cost and the aggregate
+  overhead claim (< 10 % of area, §4).
+
+Absolute values differ from the 1997 table (the circuits are
+reconstructions — DESIGN.md §3), but the *shape* assertions encoded
+here are the paper's claims: most circuits map at 2 literals, the
+global-acknowledgment method dominates the local one, coarser
+libraries need fewer insertions, and the SI overhead stays small.
+
+Run ``REPRO_FULL_TABLE1=1 pytest benchmarks/test_table1.py
+--benchmark-only -s`` for all 32 circuits.
+"""
+
+import pytest
+
+from repro.baselines.tech_decomp import tech_decomp_cost
+from repro.mapping.cost import implementation_cost
+from repro.synthesis.cover import synthesize_all
+from repro.synthesis.netlist import Netlist
+
+from conftest import circuit_sg, mapping_result, selected_names
+
+
+def _histogram_rows():
+    rows = {}
+    for name in selected_names():
+        sg = circuit_sg(name)
+        stats = Netlist(name, synthesize_all(sg)).stats()
+        rows[name] = stats
+    return rows
+
+
+def test_table1_initial_complexity(benchmark):
+    """E1: the '# gates with n literals' column group."""
+    rows = benchmark.pedantic(_histogram_rows, rounds=1, iterations=1)
+    print("\nE1: initial gate-complexity histograms")
+    print(f"{'circuit':>16}  n=2..6,7+        lit/C")
+    max_seen = 0
+    for name, stats in rows.items():
+        print(f"{name:>16}  {stats.histogram_row(7)}  "
+              f"{stats.cost_string()}")
+        max_seen = max(max_seen, stats.max_complexity)
+    # Shape: the default subset spans simple 2-literal circuits up to
+    # 5-literal covers; the 6+-literal showcases (mr0, pe-*-ifc) run
+    # in the REPRO_FULL_TABLE1=1 sweep.
+    assert max_seen >= 5
+    assert any(stats.max_complexity <= 2 for stats in rows.values())
+
+
+def _mapping_rows(literals):
+    return {name: mapping_result(name, literals)
+            for name in selected_names()}
+
+
+@pytest.mark.parametrize("literals", [2, 3, 4])
+def test_table1_mapping(benchmark, literals):
+    """E2: the 'our tech. mapping' i = 2/3/4 column group."""
+    rows = benchmark.pedantic(_mapping_rows, args=(literals,),
+                              rounds=1, iterations=1)
+    print(f"\nE2: technology mapping, i = {literals}")
+    mapped = 0
+    for name, result in rows.items():
+        status = (str(result.inserted_signals) if result.success
+                  else "n.i.")
+        print(f"{name:>16}  {status}")
+        mapped += int(result.success)
+    # The paper maps 26/32 at i=2 and all but a couple at i=4; on the
+    # reconstruction at least ~2/3 must map at every granularity.
+    assert mapped >= (2 * len(rows)) // 3
+    if literals >= 3:
+        assert mapped >= (4 * len(rows)) // 5
+
+
+def test_table1_mapping_monotone_in_library():
+    """Coarser libraries never need more inserted signals."""
+    for name in selected_names():
+        counts = []
+        for literals in (2, 3, 4):
+            result = mapping_result(name, literals)
+            counts.append(result.inserted_signals
+                          if result.success else None)
+        usable = [c for c in counts if c is not None]
+        assert usable == sorted(usable, reverse=True) or \
+            len(usable) <= 1, (name, counts)
+
+
+def _siegel_rows():
+    return {name: mapping_result(name, 2, "local")
+            for name in selected_names()}
+
+
+def test_table1_siegel_column(benchmark):
+    """E3: the '[12]' local-acknowledgment baseline column."""
+    local_rows = benchmark.pedantic(_siegel_rows, rounds=1,
+                                    iterations=1)
+    print("\nE3: local-acknowledgment baseline (i = 2)")
+    wins = losses = 0
+    for name, local in local_rows.items():
+        ours = mapping_result(name, 2)
+        flag = ""
+        if ours.success and not local.success:
+            wins += 1
+            flag = "   <- global acknowledgment wins"
+        elif local.success and not ours.success:
+            losses += 1
+        print(f"{name:>16}  ours="
+              f"{ours.inserted_signals if ours.success else 'n.i.'}  "
+              f"[12]="
+              f"{local.inserted_signals if local.success else 'n.i.'}"
+              f"{flag}")
+    # The paper's central comparative claim: our method strictly
+    # dominates the gate-splitting/local-acknowledgment approach.
+    assert wins >= 1
+    assert losses == 0
+
+
+def _cost_rows():
+    rows = {}
+    for name in selected_names():
+        sg = circuit_sg(name)
+        implementations = synthesize_all(sg)
+        non_si = tech_decomp_cost(implementations, 2)
+        ours = mapping_result(name, 2)
+        si = (implementation_cost(ours.implementations)
+              if ours.success else None)
+        rows[name] = (non_si, si)
+    return rows
+
+
+def test_table1_cost_columns(benchmark):
+    """E4: the 'non-SI / SI' cost columns and the <10% overhead claim."""
+    rows = benchmark.pedantic(_cost_rows, rounds=1, iterations=1)
+    print("\nE4: decomposition cost (literals/C elements), i = 2")
+    total_si = total_non_si = 0
+    for name, (non_si, si) in rows.items():
+        si_text = f"{si[0]}/{si[1]}" if si else "-"
+        print(f"{name:>16}  non-SI {non_si[0]}/{non_si[1]:<3} "
+              f"SI {si_text}")
+        if si:
+            # A C element costs about a 3-input AND gate (§4).
+            total_si += si[0] + 3 * si[1]
+            total_non_si += non_si[0] + 3 * non_si[1]
+    overhead = (total_si - total_non_si) / max(1, total_non_si)
+    print(f"\naggregate SI area overhead: {overhead:+.1%} "
+          "(paper: below +10%... on its own suite)")
+    # Shape claim: preserving SI costs extra, but bounded (the paper
+    # reports ≈10%; we allow a looser envelope for the reconstruction).
+    assert overhead < 0.60

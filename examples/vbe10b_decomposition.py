@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Figure 6 analogue: decomposing a high-fanin circuit into 2-input gates.
+
+``vbe10b`` is the paper's showcase for *global acknowledgment*: its
+covers have 6–7 literals, and the local-acknowledgment method of Siegel
+& De Micheli cannot break them down, while the paper's method can
+("circuits like mr0 and vbe10b ... were implemented with 2-literal
+gates", §4).  This script prints the circuit before and after
+decomposition and contrasts the two methods.
+"""
+
+import time
+
+from repro import GateLibrary, map_circuit, state_graph_of
+from repro.baselines.local_ack import map_local_ack
+from repro.bench_suite import benchmark
+from repro.synthesis.cover import synthesize_all
+from repro.synthesis.netlist import Netlist
+from repro.verify import verify_implementation
+
+
+def main() -> None:
+    stg = benchmark("vbe10b")
+    sg = state_graph_of(stg)
+    library = GateLibrary(2)
+
+    implementations = synthesize_all(sg)
+    initial = Netlist(stg.name, implementations)
+    stats = initial.stats()
+    print("before decomposition (complex gates):")
+    print(initial.pretty())
+    print(f"\nworst gate: {stats.max_complexity} literals; "
+          f"cost {stats.cost_string()} (literals/C)")
+
+    start = time.time()
+    result = map_circuit(sg, library)
+    elapsed = time.time() - start
+    print(f"\nglobal acknowledgment (the paper's method): "
+          f"{result.summary()}  [{elapsed:.1f}s]")
+    if result.success:
+        print(result.netlist.pretty(library))
+        verify_implementation(result.sg, result.implementations)
+        print("speed-independence verified")
+
+    start = time.time()
+    local = map_local_ack(sg, library)
+    elapsed = time.time() - start
+    print(f"\nlocal acknowledgment (the [12] baseline): "
+          f"{local.summary()}  [{elapsed:.1f}s]")
+    if not local.success:
+        print("  — as in the paper, gate splitting with local "
+              "acknowledgment cannot break the wide covers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""The Siegel & De Micheli style baseline (reference [12] of the paper).
+
+The paper characterizes [12] as a method that "only decomposes existing
+gates (e.g., a 3-input AND into 2 2-input ANDs), without any further
+search of the implementation space — no complex decompositions, no
+multi-cube divisors, no simultaneous decomposition of several gates",
+and whose new signals are acknowledged *locally* (only by the cover they
+were extracted from, with the extracted gate restricted to fanout 1).
+
+We reproduce that behaviour as a restricted configuration of our own
+mapper: divisors limited to AND/OR gate splits, candidate insertions
+rejected when any other signal's cover would acknowledge (mention) the
+new signal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.mapping.decompose import (MapperConfig, MappingResult,
+                                     TechnologyMapper)
+from repro.sg.graph import StateGraph
+from repro.stg.stg import Stg
+from repro.synthesis.library import GateLibrary
+
+
+def map_local_ack(circuit: Union[Stg, StateGraph], library: GateLibrary,
+                  config: Optional[MapperConfig] = None) -> MappingResult:
+    """Map with local acknowledgment only (the [12] baseline)."""
+    base = config or MapperConfig()
+    return TechnologyMapper(library, base.local_ack()).map(circuit)

@@ -1,0 +1,18 @@
+"""The 32-circuit benchmark suite of Table 1.
+
+The original 1997 benchmark ``.g`` files are not distributed with the
+paper; every circuit here is a *reconstruction* — a valid STG
+(consistent, deterministic, commutative, output-persistent, CSC) of the
+same name, built from the standard asynchronous-control patterns
+(handshake joins, fork/join controllers, sequencers, micropipelines)
+with signal counts and initial cover complexities in the range Table 1
+reports.  See DESIGN.md §3 for the substitution rationale.
+
+Use :func:`~repro.bench_suite.circuits.benchmark` /
+:func:`~repro.bench_suite.circuits.benchmark_names` to access them.
+"""
+
+from repro.bench_suite.circuits import (benchmark, benchmark_names,
+                                        load_all)
+
+__all__ = ["benchmark", "benchmark_names", "load_all"]

@@ -1,0 +1,244 @@
+"""A compact reduced ordered BDD package.
+
+Used by the verification layer for equivalence/tautology checks of
+covers and netlists, independently of the SOP data structures (so a bug
+in :mod:`repro.boolean.sop` cannot silently confirm itself).
+
+Nodes are integers: ``0`` and ``1`` are the terminals; internal nodes
+live in a unique table keyed by ``(level, low, high)``.  The manager
+owns a fixed variable order chosen at construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.boolean.cube import Cube
+from repro.boolean.sop import SopCover
+
+Node = int
+
+
+class Bdd:
+    """A ROBDD manager over a fixed, ordered set of variables."""
+
+    FALSE: Node = 0
+    TRUE: Node = 1
+
+    def __init__(self, variables: Sequence[str]):
+        if len(set(variables)) != len(variables):
+            raise ValueError("duplicate variable names in BDD order")
+        self._order: Tuple[str, ...] = tuple(variables)
+        self._level: Dict[str, int] = {
+            name: index for index, name in enumerate(self._order)}
+        # node id -> (level, low, high); ids 0/1 reserved for terminals.
+        self._nodes: List[Tuple[int, Node, Node]] = [(-1, 0, 0), (-1, 1, 1)]
+        self._unique: Dict[Tuple[int, Node, Node], Node] = {}
+        self._ite_cache: Dict[Tuple[Node, Node, Node], Node] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> Tuple[str, ...]:
+        return self._order
+
+    def _mk(self, level: int, low: Node, high: Node) -> Node:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def var(self, name: str) -> Node:
+        """BDD for a single positive literal."""
+        if name not in self._level:
+            raise KeyError(f"variable {name!r} not in BDD order")
+        return self._mk(self._level[name], Bdd.FALSE, Bdd.TRUE)
+
+    def nvar(self, name: str) -> Node:
+        """BDD for a single negative literal."""
+        return self._mk(self._level[name], Bdd.TRUE, Bdd.FALSE)
+
+    def cube(self, cube: Cube) -> Node:
+        """BDD for a product term."""
+        result = Bdd.TRUE
+        for name, value in sorted(cube.literals.items(),
+                                  key=lambda item: -self._level[item[0]]):
+            literal = self.var(name) if value else self.nvar(name)
+            result = self.apply_and(literal, result)
+        return result
+
+    def sop(self, cover: SopCover) -> Node:
+        """BDD for a sum-of-products cover."""
+        result = Bdd.FALSE
+        for term in cover:
+            result = self.apply_or(result, self.cube(term))
+        return result
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def ite(self, f: Node, g: Node, h: Node) -> Node:
+        """If-then-else — the universal ROBDD combinator."""
+        if f == Bdd.TRUE:
+            return g
+        if f == Bdd.FALSE:
+            return h
+        if g == h:
+            return g
+        if g == Bdd.TRUE and h == Bdd.FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._top_level(n) for n in (f, g, h)
+                    if n not in (Bdd.FALSE, Bdd.TRUE))
+        f0, f1 = self._branch(f, level)
+        g0, g1 = self._branch(g, level)
+        h0, h1 = self._branch(h, level)
+        result = self._mk(level, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._ite_cache[key] = result
+        return result
+
+    def _top_level(self, node: Node) -> int:
+        return self._nodes[node][0]
+
+    def _branch(self, node: Node, level: int) -> Tuple[Node, Node]:
+        if node in (Bdd.FALSE, Bdd.TRUE):
+            return node, node
+        node_level, low, high = self._nodes[node]
+        if node_level == level:
+            return low, high
+        return node, node
+
+    def apply_and(self, f: Node, g: Node) -> Node:
+        return self.ite(f, g, Bdd.FALSE)
+
+    def apply_or(self, f: Node, g: Node) -> Node:
+        return self.ite(f, Bdd.TRUE, g)
+
+    def apply_xor(self, f: Node, g: Node) -> Node:
+        return self.ite(f, self.negate(g), g)
+
+    def negate(self, f: Node) -> Node:
+        return self.ite(f, Bdd.FALSE, Bdd.TRUE)
+
+    def restrict(self, f: Node, name: str, value: int) -> Node:
+        """Cofactor ``f`` by ``name = value``."""
+        level = self._level[name]
+
+        def walk(node: Node, cache: Dict[Node, Node]) -> Node:
+            if node in (Bdd.FALSE, Bdd.TRUE):
+                return node
+            if node in cache:
+                return cache[node]
+            node_level, low, high = self._nodes[node]
+            if node_level > level:
+                result = node
+            elif node_level == level:
+                result = walk(high if value else low, cache)
+            else:
+                result = self._mk(node_level, walk(low, cache),
+                                  walk(high, cache))
+            cache[node] = result
+            return result
+
+        return walk(f, {})
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def evaluate(self, f: Node, vector: Mapping[str, int]) -> bool:
+        node = f
+        while node not in (Bdd.FALSE, Bdd.TRUE):
+            level, low, high = self._nodes[node]
+            node = high if vector[self._order[level]] else low
+        return node == Bdd.TRUE
+
+    def is_tautology(self, f: Node) -> bool:
+        return f == Bdd.TRUE
+
+    def is_contradiction(self, f: Node) -> bool:
+        return f == Bdd.FALSE
+
+    def equivalent(self, f: Node, g: Node) -> bool:
+        return f == g
+
+    def implies(self, f: Node, g: Node) -> bool:
+        return self.apply_and(f, self.negate(g)) == Bdd.FALSE
+
+    def sat_count(self, f: Node) -> int:
+        """Number of satisfying assignments over the full order."""
+        cache: Dict[Node, int] = {}
+
+        def walk(node: Node, level: int) -> int:
+            if node == Bdd.FALSE:
+                return 0
+            if node == Bdd.TRUE:
+                return 2 ** (len(self._order) - level)
+            key = node
+            if key in cache:
+                below = cache[key]
+            else:
+                node_level, low, high = self._nodes[node]
+                below = (walk(low, node_level + 1)
+                         + walk(high, node_level + 1))
+                cache[key] = below
+            node_level = self._nodes[node][0]
+            return below * 2 ** (node_level - level)
+
+        return walk(f, 0)
+
+    def support(self, f: Node) -> Tuple[str, ...]:
+        """Variables ``f`` actually depends on."""
+        seen = set()
+        stack = [f]
+        visited = set()
+        while stack:
+            node = stack.pop()
+            if node in (Bdd.FALSE, Bdd.TRUE) or node in visited:
+                continue
+            visited.add(node)
+            level, low, high = self._nodes[node]
+            seen.add(self._order[level])
+            stack.extend((low, high))
+        return tuple(sorted(seen))
+
+    def one_sat(self, f: Node) -> Optional[Dict[str, int]]:
+        """A satisfying assignment (partial, over the support path)."""
+        if f == Bdd.FALSE:
+            return None
+        assignment: Dict[str, int] = {}
+        node = f
+        while node != Bdd.TRUE:
+            level, low, high = self._nodes[node]
+            name = self._order[level]
+            if high != Bdd.FALSE:
+                assignment[name] = 1
+                node = high
+            else:
+                assignment[name] = 0
+                node = low
+        return assignment
+
+    def node_count(self, f: Node) -> int:
+        """Number of internal nodes reachable from ``f``."""
+        visited = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in (Bdd.FALSE, Bdd.TRUE) or node in visited:
+                continue
+            visited.add(node)
+            _, low, high = self._nodes[node]
+            stack.extend((low, high))
+        return len(visited)

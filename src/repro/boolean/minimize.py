@@ -1,0 +1,304 @@
+"""Espresso-style two-level minimization with implicit don't-cares.
+
+The synthesis path of this library always minimizes *incompletely
+specified* functions given as two explicit sets of binary vectors:
+
+* ``on``  — vectors the cover must evaluate to 1 on;
+* ``off`` — vectors the cover must evaluate to 0 on;
+
+everything else (unreachable state codes, quiescent-region freedom) is a
+don't-care.  This matches how covers arise from a state graph, where the
+reachable state set is small and the don't-care set is astronomically
+large — so, unlike textbook espresso, the OFF-set is kept *explicit* and
+the DC-set *implicit*.
+
+The loop is the classical one: EXPAND each implicant against the
+OFF-set, drop single-cube-contained implicants, make the result
+IRREDUNDANT by greedy covering, then one REDUCE/re-EXPAND pass to escape
+local minima.  Heuristic, but verified: the result is checked to cover
+``on`` and avoid ``off`` before being returned.
+
+Internally everything runs on bit-integers: a vector over ``support``
+is an int, a cube is a ``(mask, value)`` pair, and cube-covers-vector is
+one AND plus one compare.  The public API speaks
+:class:`~repro.boolean.cube.Cube` / :class:`~repro.boolean.sop.SopCover`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro._util import FrozenVector
+from repro.boolean.cube import Cube
+from repro.boolean.sop import SopCover
+from repro.errors import CoverError
+
+Vector = Mapping[str, int]
+IntCube = Tuple[int, int]  # (mask, value): v covered iff v & mask == value
+
+
+def _vector_int(vector: Vector, support: Sequence[str]) -> int:
+    bits = 0
+    for index, name in enumerate(support):
+        if vector[name]:
+            bits |= 1 << index
+    return bits
+
+
+def _cube_int(cube: Cube, support: Sequence[str]) -> IntCube:
+    mask = value = 0
+    position = {name: i for i, name in enumerate(support)}
+    for name, polarity in cube:
+        bit = 1 << position[name]
+        mask |= bit
+        if polarity:
+            value |= bit
+    return mask, value
+
+
+def _cube_back(int_cube: IntCube, support: Sequence[str]) -> Cube:
+    mask, value = int_cube
+    literals = {}
+    for index, name in enumerate(support):
+        bit = 1 << index
+        if mask & bit:
+            literals[name] = 1 if value & bit else 0
+    return Cube(literals)
+
+
+def _hits(cube: IntCube, vectors: "np.ndarray") -> bool:
+    mask, value = cube
+    if len(vectors) == 0:
+        return False
+    return bool(((vectors & mask) == value).any())
+
+
+def _covered(cube: IntCube, vectors: Iterable[int]) -> List[int]:
+    mask, value = cube
+    return [v for v in vectors if (v & mask) == value]
+
+
+def _count_covered(cube: IntCube, vectors: "np.ndarray") -> int:
+    mask, value = cube
+    if len(vectors) == 0:
+        return 0
+    return int(((vectors & mask) == value).sum())
+
+
+def _expand(cube: IntCube, off: "np.ndarray", prefer: "np.ndarray",
+            width: int) -> IntCube:
+    """EXPAND: greedily drop literals while staying off the OFF-set,
+    favouring drops that absorb the most ON-vectors."""
+    mask, value = cube
+    improved = True
+    while improved:
+        improved = False
+        best: Optional[Tuple[int, int, IntCube]] = None
+        for index in range(width):
+            bit = 1 << index
+            if not mask & bit:
+                continue
+            wider = (mask & ~bit, value & ~bit)
+            if _hits(wider, off):
+                continue
+            gain = _count_covered(wider, prefer) if len(prefer) else 0
+            key = (gain, index)
+            if best is None or key > best[:2]:
+                best = (gain, index, wider)
+        if best is not None:
+            mask, value = best[2]
+            improved = True
+    return mask, value
+
+
+def _contains(outer: IntCube, inner: IntCube) -> bool:
+    """Every point of ``inner`` lies in ``outer``."""
+    o_mask, o_value = outer
+    i_mask, i_value = inner
+    if o_mask & ~i_mask:
+        return False
+    return (i_value & o_mask) == o_value
+
+
+def _irredundant(cubes: List[IntCube], on: Sequence[int]) -> List[IntCube]:
+    """Greedy minimum-ish subset of ``cubes`` still covering ``on``."""
+    owners: Dict[int, List[IntCube]] = {
+        v: [c for c in cubes if (v & c[0]) == c[1]] for v in on}
+    for vector, who in owners.items():
+        if not who:
+            raise CoverError("irredundant step cannot make progress; "
+                             "ON-set vector not covered by any implicant")
+    chosen: List[IntCube] = []
+    remaining: Set[int] = set(on)
+    # Essential cubes first.
+    for vector, who in owners.items():
+        if len(who) == 1 and who[0] not in chosen:
+            chosen.append(who[0])
+    for cube in chosen:
+        remaining -= set(_covered(cube, remaining))
+    pool = [c for c in cubes if c not in chosen]
+    while remaining:
+        remaining_list = sorted(remaining)
+        best = max(pool or chosen,
+                   key=lambda c: (len(_covered(c, remaining_list)),
+                                  -bin(c[0]).count("1")))
+        gained = set(_covered(best, remaining))
+        if not gained:
+            raise CoverError("irredundant step cannot make progress")
+        if best not in chosen:
+            chosen.append(best)
+        remaining -= gained
+    # Drop cubes made redundant by later picks.
+    pruned = list(chosen)
+    for cube in list(chosen):
+        trial = [c for c in pruned if c != cube]
+        if trial and all(any((v & c[0]) == c[1] for c in trial)
+                         for v in on):
+            pruned = trial
+    return pruned
+
+
+def _reduce(cube: IntCube, owned: Sequence[int], width: int) -> IntCube:
+    """REDUCE: shrink a cube to the supercube of the ON-vectors only it
+    covers (so the next EXPAND can take a different direction)."""
+    if not owned:
+        return cube
+    full_mask = (1 << width) - 1
+    common_ones = full_mask
+    common_zeros = full_mask
+    for v in owned:
+        common_ones &= v
+        common_zeros &= ~v
+    mask = (common_ones | common_zeros) & full_mask
+    value = common_ones & mask
+    outer_mask, outer_value = cube
+    # Only shrink (never move outside the original cube).
+    if (outer_mask & ~mask) or ((value & outer_mask) != outer_value):
+        return cube
+    return mask, value
+
+
+def minimize(on: Iterable[Vector], off: Iterable[Vector],
+             support: Sequence[str], passes: int = 2) -> SopCover:
+    """Minimize the incompletely specified function (ON, OFF, DC=rest).
+
+    Parameters
+    ----------
+    on, off:
+        Complete assignments over ``support`` (or supersets; extra
+        signals are projected away).
+    support:
+        Signal names the cover may mention.
+    passes:
+        Number of EXPAND/IRREDUNDANT(/REDUCE) rounds.
+
+    Returns
+    -------
+    SopCover
+        A cover ``c`` with ``c(v) = 1`` for all ``v`` in ``on`` and
+        ``c(v) = 0`` for all ``v`` in ``off``.
+
+    Raises
+    ------
+    CoverError
+        If some vector appears in both ON and OFF (no cover exists).
+    """
+    support = list(support)
+    width = len(support)
+    on_ints = sorted({_vector_int(v, support) for v in on})
+    off_ints = sorted({_vector_int(v, support) for v in off})
+    overlap = set(on_ints) & set(off_ints)
+    if overlap:
+        bits = format(next(iter(overlap)), f"0{width}b")[::-1]
+        raise CoverError(
+            f"ON and OFF sets overlap on vector {bits} over "
+            f"{support}: the function is over-constrained (typically a "
+            "CSC violation)")
+    if not on_ints:
+        return SopCover.zero()
+    if not off_ints:
+        return SopCover.one()
+
+    full_mask = (1 << width) - 1
+    off_array = np.array(off_ints, dtype=np.int64)
+    on_array = np.array(on_ints, dtype=np.int64)
+    cubes: List[IntCube] = [(full_mask, v) for v in on_ints]
+    for round_index in range(max(1, passes)):
+        # Espresso-style EXPAND with covered-minterm skipping: a cube
+        # whose seed minterm is already absorbed by an earlier prime is
+        # not expanded (IRREDUNDANT would drop it anyway).
+        expanded: List[IntCube] = []
+        for cube in cubes:
+            seed = cube[1] & full_mask if cube[0] == full_mask else None
+            if seed is not None and any(
+                    (seed & mask) == value for mask, value in expanded):
+                continue
+            expanded.append(_expand(cube, off_array, on_array, width))
+        kept: List[IntCube] = []
+        for cube in sorted(set(expanded),
+                           key=lambda c: bin(c[0]).count("1")):
+            if not any(_contains(other, cube) for other in kept):
+                kept.append(cube)
+        cubes = _irredundant(kept, on_ints)
+        if round_index + 1 < passes:
+            reduced = []
+            for cube in cubes:
+                others = [c for c in cubes if c != cube]
+                owned = [v for v in _covered(cube, on_ints)
+                         if not any((v & c[0]) == c[1] for c in others)]
+                reduced.append(_reduce(cube, owned, width))
+            cubes = reduced
+
+    result = SopCover(_cube_back(c, support) for c in cubes)
+    _verify(cubes, on_ints, off_ints)
+    return result
+
+
+def _verify(cubes: Sequence[IntCube], on: Sequence[int],
+            off: Sequence[int]) -> None:
+    for vector in on:
+        if not any((vector & mask) == value for mask, value in cubes):
+            raise CoverError("minimized cover misses an ON vector")
+    for vector in off:
+        if any((vector & mask) == value for mask, value in cubes):
+            raise CoverError("minimized cover hits an OFF vector")
+
+
+def expand_cube(cube: Cube, off: Sequence[Vector],
+                prefer: Optional[Sequence[Vector]] = None) -> Cube:
+    """Expand one cube into a prime-like implicant against ``off``.
+
+    Public wrapper around the integer EXPAND primitive (used directly
+    by tests and by callers that want a single-cube expansion).
+    """
+    support = sorted(set(cube.support)
+                     | {n for v in off for n in v.keys()}
+                     | {n for v in (prefer or []) for n in v.keys()})
+    off_ints = np.array([_vector_int(v, support) for v in off],
+                        dtype=np.int64)
+    prefer_ints = np.array([_vector_int(v, support)
+                            for v in (prefer or [])], dtype=np.int64)
+    expanded = _expand(_cube_int(cube, support), off_ints, prefer_ints,
+                       len(support))
+    return _cube_back(expanded, support)
+
+
+def literal_complexity(on: Iterable[Vector], off: Iterable[Vector],
+                       support: Sequence[str]) -> Tuple[int, SopCover, SopCover]:
+    """The paper's gate-complexity measure.
+
+    "We have measured the complexity of each gate as the number of
+    literals required to implement it as a sum-of-product gate, either
+    complemented or not" (§4) — i.e. ``min(lit(f), lit(f'))`` where both
+    polarities are minimized against the same don't-care set.
+
+    Returns ``(complexity, cover, complement_cover)``.
+    """
+    on_list = list(on)
+    off_list = list(off)
+    cover = minimize(on_list, off_list, support)
+    complement = minimize(off_list, on_list, support)
+    return (min(cover.literal_count(), complement.literal_count()),
+            cover, complement)

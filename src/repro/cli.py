@@ -1,0 +1,171 @@
+"""Command-line interface: the ``si-mapper`` tool.
+
+Sub-commands:
+
+* ``si-mapper map circuit.g [-k LITERALS] [--local-ack] [--dot out.dot]``
+  — map one STG and print the netlist;
+* ``si-mapper check circuit.g`` — run the SG property suite;
+* ``si-mapper report [names...] [-k ...]`` — regenerate (part of)
+  Table 1 on the built-in benchmark suite;
+* ``si-mapper bench-list`` — list the benchmark suite;
+* ``si-mapper show NAME`` — print a built-in benchmark as ``.g``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench_suite import benchmark, benchmark_names
+from repro.errors import ReproError
+from repro.mapping.decompose import MapperConfig, map_circuit
+from repro.baselines.local_ack import map_local_ack
+from repro.sg.properties import check_speed_independence
+from repro.sg.reachability import state_graph_of
+from repro.stg.parser import load_g
+from repro.stg.writer import write_g
+from repro.synthesis.library import GateLibrary
+from repro.verify import verify_implementation
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    stg = load_g(args.circuit)
+    library = GateLibrary(args.literals)
+    config = MapperConfig(solve_csc=args.solve_csc)
+    mapper = map_local_ack if args.local_ack else map_circuit
+    result = mapper(stg, library, config)
+    print(result.summary())
+    for step in result.steps:
+        print(f"  + {step.signal} for {step.target} via {step.divisor}")
+    print()
+    print(result.netlist.pretty(library))
+    if result.success and args.verify:
+        verify_implementation(result.sg, result.implementations)
+        print("\nspeed-independence verification: OK")
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(result.sg.to_dot())
+        print(f"\nstate graph written to {args.dot}")
+    if args.verilog:
+        from repro.synthesis.export import to_verilog
+        with open(args.verilog, "w", encoding="utf-8") as handle:
+            handle.write(to_verilog(result.netlist, stg.inputs,
+                                    tuple(s for s in stg.outputs
+                                          if s not in stg.internal)))
+        print(f"Verilog written to {args.verilog}")
+    if args.eqn:
+        from repro.synthesis.export import to_eqn
+        with open(args.eqn, "w", encoding="utf-8") as handle:
+            handle.write(to_eqn(result.netlist))
+        print(f"equations written to {args.eqn}")
+    return 0 if result.success else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    stg = load_g(args.circuit)
+    from repro.stg.analysis import structural_report
+    structure = structural_report(stg)
+    classes = [label for label, key in (
+        ("marked-graph", "marked_graph"),
+        ("state-machine", "state_machine"),
+        ("free-choice", "free_choice")) if structure.get(key)]
+    sg = state_graph_of(stg)
+    report = check_speed_independence(sg)
+    print(f"{stg.name}: {len(sg)} states, "
+          f"{len(sg.signals)} signals; "
+          f"net class: {', '.join(classes) or 'general'}")
+    for problem in structure.get("liveness_problems", []):
+        print(f"  STRUCTURE: {problem}")
+    if report.implementable:
+        print("consistent, speed-independent, CSC: implementable")
+        return 0
+    for problem in report.all_violations():
+        print(f"  VIOLATION: {problem}")
+    return 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import table1
+    names = args.names or None
+    _, text = table1(names, libraries=tuple(args.literals),
+                     with_siegel=not args.no_siegel,
+                     progress=True)
+    print(text)
+    return 0
+
+
+def _cmd_bench_list(args: argparse.Namespace) -> int:
+    for name in benchmark_names():
+        stg = benchmark(name)
+        print(f"{name:>16}  inputs={len(stg.inputs)} "
+              f"outputs={len(stg.outputs)}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    print(write_g(benchmark(args.name)), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="si-mapper",
+        description="Speed-independent technology mapping "
+                    "(Cortadella et al., DATE 1997 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_map = sub.add_parser("map", help="map an STG into a library")
+    p_map.add_argument("circuit", help=".g file")
+    p_map.add_argument("-k", "--literals", type=int, default=2,
+                       help="max literals per gate (default 2)")
+    p_map.add_argument("--local-ack", action="store_true",
+                       help="Siegel-style local acknowledgment baseline")
+    p_map.add_argument("--solve-csc", action="store_true",
+                       help="insert state signals to fix CSC conflicts "
+                            "before mapping")
+    p_map.add_argument("--verilog", help="write the mapped netlist as "
+                                         "structural Verilog")
+    p_map.add_argument("--eqn", help="write the mapped netlist as SIS "
+                                     ".eqn equations")
+    p_map.add_argument("--no-verify", dest="verify",
+                       action="store_false",
+                       help="skip the final SI verification")
+    p_map.add_argument("--dot", help="write the final SG as GraphViz")
+    p_map.set_defaults(func=_cmd_map)
+
+    p_check = sub.add_parser("check", help="verify STG implementability")
+    p_check.add_argument("circuit", help=".g file")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_report = sub.add_parser("report",
+                              help="regenerate Table 1 (or a subset)")
+    p_report.add_argument("names", nargs="*",
+                          help="benchmark names (default: all 32)")
+    p_report.add_argument("-k", "--literals", type=int, nargs="+",
+                          default=[2, 3, 4])
+    p_report.add_argument("--no-siegel", action="store_true",
+                          help="skip the local-ack baseline column")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_list = sub.add_parser("bench-list", help="list the benchmarks")
+    p_list.set_defaults(func=_cmd_bench_list)
+
+    p_show = sub.add_parser("show", help="print a benchmark as .g")
+    p_show.add_argument("name")
+    p_show.set_defaults(func=_cmd_show)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class.  Finer-grained classes communicate *which* theory
+obligation failed (consistency of an STG, CSC of a state graph, validity
+of a signal insertion, ...), which matters for the mapper: some failures
+abort the run, others merely reject one divisor candidate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ParseError(ReproError):
+    """A textual input (``.g`` file, expression, ...) is malformed."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class PetriNetError(ReproError):
+    """Structural misuse of a Petri net (unknown node, bad arc, ...)."""
+
+
+class StgError(ReproError):
+    """Structural misuse of a Signal Transition Graph."""
+
+
+class ConsistencyError(ReproError):
+    """State labelling of an SG is not consistent (rising/falling
+    transitions of some signal do not alternate)."""
+
+
+class SpeedIndependenceError(ReproError):
+    """An SG violates determinism, commutativity or output persistency."""
+
+
+class CscViolation(ReproError):
+    """Two states share a binary code but enable different output events
+    (Complete State Coding fails) — no logic implementation exists."""
+
+
+class CoverError(ReproError):
+    """A monotonous/complete cover could not be synthesized."""
+
+
+class InsertionError(ReproError):
+    """A candidate signal insertion is invalid (SIP growth hit the
+    opposite half-space, the new SG failed verification, ...).
+
+    The mapper catches this error to reject a divisor candidate; it is
+    not fatal for the overall mapping run.
+    """
+
+
+class MappingError(ReproError):
+    """The technology-mapping loop failed (no implementable result)."""
+
+
+class LibraryError(ReproError):
+    """A gate library is malformed or cannot express a request."""
+
+
+class VerificationError(ReproError):
+    """A mapped circuit failed speed-independence verification."""

@@ -1,0 +1,173 @@
+"""Complete State Coding (CSC) solving by SIP-preserving insertion.
+
+The paper assumes its input already satisfies CSC and refers to the
+companion work (Cortadella et al., *Complete state encoding based on
+the theory of regions*, ASYNC'96 — reference [6]) for obtaining it.
+This module provides that missing stage with the same machinery the
+mapper uses: candidate state blocks are grown into speed-independence-
+preserving insertion sets and realized by state-splitting insertion of
+fresh internal signals, until no two states share a code while enabling
+different output events.
+
+CSC conflicts are, by definition, *not* separable by any function of
+the existing signals (the conflicting states have equal codes), so
+candidate blocks are generated extensionally from the event structure:
+for every ordered pair of events ``(u, v)``, the block "after ``u``
+until ``v``" — the forward closure of ``u``'s switching regions, cut at
+states where ``v`` is enabled.  This family contains the classic
+hand-made CSC signals (request-seen, phase, done flags).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import CscViolation, InsertionError
+from repro.mapping.insertion import insert_signal
+from repro.mapping.partition import compute_insertion_sets_from_states
+from repro.sg.graph import Event, State, StateGraph, event_signal
+from repro.sg.properties import csc_violations
+from repro.sg.regions import excitation_regions, switching_region
+
+
+def csc_conflicts(sg: StateGraph) -> List[Tuple[State, State]]:
+    """All unordered state pairs sharing a code but enabling different
+    output events."""
+    by_code: Dict[Tuple, List[State]] = {}
+    for state in sg.states:
+        by_code.setdefault(sg.code(state).items(), []).append(state)
+    outputs = set(sg.outputs)
+    conflicts: List[Tuple[State, State]] = []
+    for states in by_code.values():
+        if len(states) < 2:
+            continue
+        enabled = {
+            state: frozenset(e for e in sg.enabled(state)
+                             if event_signal(e) in outputs)
+            for state in states}
+        for i, left in enumerate(states):
+            for right in states[i + 1:]:
+                if enabled[left] != enabled[right]:
+                    conflicts.append((left, right))
+    return conflicts
+
+
+def _event_blocks(sg: StateGraph) -> List[Tuple[str, Set[State]]]:
+    """Candidate encoding blocks: "after u, until v" state sets."""
+    events: List[Event] = sorted({
+        event for state in sg.states
+        for event, _ in sg.successors(state)})
+    blocks: List[Tuple[str, Set[State]]] = []
+    seen: Set[FrozenSet[State]] = set()
+    for start in events:
+        start_states: Set[State] = set()
+        for region in excitation_regions(sg, start):
+            start_states |= switching_region(sg, region)
+        if not start_states:
+            continue
+        for stop in events:
+            if stop == start:
+                continue
+            block = _forward_until(sg, start_states, stop)
+            if not block or len(block) == len(sg):
+                continue
+            key = frozenset(block)
+            if key in seen:
+                continue
+            seen.add(key)
+            blocks.append((f"after {start} until {stop}", block))
+    return blocks
+
+
+def _forward_until(sg: StateGraph, sources: Set[State],
+                   stop: Event) -> Set[State]:
+    block: Set[State] = set()
+    frontier = [s for s in sources
+                if stop not in {e for e, _ in sg.successors(s)}]
+    block.update(frontier)
+    while frontier:
+        state = frontier.pop()
+        for _, target in sg.successors(state):
+            if target in block:
+                continue
+            if stop in {e for e, _ in sg.successors(target)}:
+                continue
+            block.add(target)
+            frontier.append(target)
+    return block
+
+
+def _separated(sg: StateGraph, block: Set[State],
+               conflicts: Sequence[Tuple[State, State]]) -> int:
+    """How many conflict pairs the block splits (one in, one out)."""
+    return sum(1 for left, right in conflicts
+               if (left in block) != (right in block))
+
+
+@dataclass
+class CscStep:
+    """One inserted encoding signal."""
+
+    signal: str
+    block_label: str
+    conflicts_before: int
+    conflicts_after: int
+
+
+@dataclass
+class CscResult:
+    """Outcome of CSC solving."""
+
+    sg: StateGraph
+    steps: List[CscStep] = field(default_factory=list)
+
+    @property
+    def inserted_signals(self) -> int:
+        return len(self.steps)
+
+
+def solve_csc(sg: StateGraph, max_signals: int = 8,
+              signal_prefix: str = "csc") -> CscResult:
+    """Insert encoding signals until the state graph satisfies CSC.
+
+    Raises :class:`CscViolation` if the conflict count cannot be driven
+    to zero within ``max_signals`` insertions (the candidate family is
+    heuristic, not complete).
+    """
+    current = sg.copy()
+    steps: List[CscStep] = []
+    for index in range(max_signals):
+        conflicts = csc_conflicts(current)
+        if not conflicts:
+            return CscResult(current, steps)
+        candidates = []
+        for label, block in _event_blocks(current):
+            split = _separated(current, block, conflicts)
+            if split:
+                candidates.append((-split, len(block), label, block))
+        candidates.sort(key=lambda item: item[:3])
+        name = f"{signal_prefix}{index}"
+        inserted = None
+        for _, _, label, block in candidates[:24]:
+            try:
+                partition = compute_insertion_sets_from_states(
+                    current, block)
+                candidate_sg = insert_signal(current, partition, name,
+                                             require_csc=False)
+            except InsertionError:
+                continue
+            remaining = csc_conflicts(candidate_sg)
+            if len(remaining) < len(conflicts):
+                inserted = (candidate_sg, label, len(remaining))
+                break
+        if inserted is None:
+            raise CscViolation(
+                f"CSC solving stalled with {len(conflicts)} conflicts "
+                f"after {len(steps)} insertions")
+        current, label, remaining = inserted
+        steps.append(CscStep(name, label, len(conflicts), remaining))
+    if csc_conflicts(current):
+        raise CscViolation(
+            f"CSC not solved within {max_signals} signal insertions")
+    return CscResult(current, steps)

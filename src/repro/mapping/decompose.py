@@ -1,0 +1,486 @@
+"""The technology-mapping loop (§3 of the paper).
+
+The algorithm sketch from the paper::
+
+    while circuit is not implementable do
+        Calculate monotonous covers for all events;
+        a* = event with the most complex cover;
+        D = {set of divisors for c(a*)};          # kernels, OR/AND, ...
+        for each f in D do
+            Find I-partition for f;
+            Evaluate progress for decomposition of c(a*);   # Property 3.1
+            Estimate progress for all other covers;         # Property 3.2
+        end for
+        if there is no f in D that can make progress on c(a*)
+        then return;                               # n.i.
+        else insert the best f; resynthesize everything from scratch
+    end while
+
+Termination is guaranteed by a potential argument: an insertion is
+accepted only if it strictly decreases the global *oversize potential*
+``Σ max(0, complexity(gate) − k)``; the potential is a non-negative
+integer, so the loop ends.  When no divisor (for any oversized cover,
+not only the most complex one — the paper's "other events can also be
+selected" tuning) reduces the potential, the circuit is reported not
+implementable in the given library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.boolean.divisors import algebraic_division, generate_divisors
+from repro.boolean.sop import SopCover
+from repro.errors import (CoverError, CscViolation, InsertionError,
+                          MappingError)
+from repro.mapping.cost import implementation_cost
+from repro.mapping.insertion import insert_signal
+from repro.mapping.partition import IPartition, compute_insertion_sets
+from repro.mapping.progress import (check_property_31,
+                                    estimate_global_impact)
+from repro.sg.graph import StateGraph
+from repro.sg.properties import assert_implementable
+from repro.sg.regions import ExcitationRegion
+from repro.stg.stg import Stg
+from repro.synthesis.cover import (SignalImplementation,
+                                   synthesize_all, synthesize_signal)
+from repro.synthesis.library import GateLibrary
+from repro.synthesis.netlist import Netlist
+
+
+@dataclass
+class MapperConfig:
+    """Tuning knobs of the mapping loop."""
+
+    max_iterations: int = 40
+    max_divisors: int = 48
+    max_insertion_trials: int = 12
+    max_neutral_steps: int = 8
+    max_regression: int = 2
+    max_states: int = 6000
+    global_acknowledgment: bool = True
+    use_progress_filters: bool = True
+    solve_csc: bool = False
+    signal_prefix: str = "x"
+
+    def local_ack(self) -> "MapperConfig":
+        """A copy configured like the Siegel-style baseline."""
+        return MapperConfig(
+            max_iterations=self.max_iterations,
+            max_divisors=self.max_divisors,
+            max_insertion_trials=self.max_insertion_trials,
+            max_neutral_steps=self.max_neutral_steps,
+            max_regression=self.max_regression,
+            max_states=self.max_states,
+            global_acknowledgment=False,
+            solve_csc=self.solve_csc,
+            use_progress_filters=self.use_progress_filters,
+            signal_prefix=self.signal_prefix)
+
+
+@dataclass
+class DecompositionStep:
+    """One accepted signal insertion."""
+
+    signal: str
+    target: str              # "event/index" or "complete(signal)"
+    divisor: str
+    before_complexity: int
+    potential_before: int
+    potential_after: int
+    states_before: int
+    states_after: int
+
+
+@dataclass
+class MappingResult:
+    """Outcome of a mapping run."""
+
+    name: str
+    library: GateLibrary
+    success: bool
+    message: str
+    sg: StateGraph
+    implementations: Dict[str, SignalImplementation]
+    netlist: Netlist
+    initial_netlist: Netlist
+    steps: List[DecompositionStep] = field(default_factory=list)
+
+    @property
+    def inserted_signals(self) -> int:
+        return len(self.steps)
+
+    def summary(self) -> str:
+        status = (f"{self.inserted_signals} signals inserted"
+                  if self.success else "n.i.")
+        return (f"{self.name} @ {self.library}: {status} "
+                f"({self.message})")
+
+
+@dataclass
+class _Unit:
+    """One decomposable gate: a region cover or a complete cover."""
+
+    key: Tuple[str, int]            # (event, index) or ("=signal", 0)
+    signal: str
+    region: Optional[ExcitationRegion]
+    cover: SopCover
+    complement: SopCover
+
+    @property
+    def complexity(self) -> int:
+        return min(self.cover.literal_count(),
+                   self.complement.literal_count())
+
+    @property
+    def chosen(self) -> SopCover:
+        """The polarity that realizes the complexity measure."""
+        if self.cover.literal_count() <= self.complement.literal_count():
+            return self.cover
+        return self.complement
+
+    @property
+    def label(self) -> str:
+        if self.region is None:
+            return f"complete({self.signal})"
+        return f"{self.key[0]}/{self.key[1]}"
+
+
+def _units_of(implementations: Dict[str, SignalImplementation]) -> List[_Unit]:
+    units: List[_Unit] = []
+    for signal, impl in sorted(implementations.items()):
+        if impl.is_combinational:
+            units.append(_Unit(("=" + signal, 0), signal, None,
+                               impl.complete, impl.complete_complement))
+            continue
+        for rc in impl.region_covers:
+            units.append(_Unit((rc.event, rc.region.index), signal,
+                               rc.region, rc.cover, rc.complement))
+    return units
+
+
+def _potential(units: Sequence[_Unit], library: GateLibrary) -> int:
+    return sum(max(0, unit.complexity - library.max_literals)
+               for unit in units)
+
+
+class TechnologyMapper:
+    """Speed-independence-preserving technology mapping."""
+
+    def __init__(self, library: GateLibrary,
+                 config: Optional[MapperConfig] = None):
+        self.library = library
+        self.config = config or MapperConfig()
+        self._event_mass: Dict[Tuple[str, str], int] = {}
+        self._neutral_streak = 0
+        self._used_functions = {}
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def map(self, circuit: Union[Stg, StateGraph]) -> MappingResult:
+        """Map an STG or state graph into the configured library."""
+        if isinstance(circuit, Stg):
+            from repro.sg.reachability import state_graph_of
+            sg = state_graph_of(circuit)
+        else:
+            sg = circuit.copy()
+        if self.config.solve_csc:
+            from repro.mapping.csc import solve_csc
+            sg = solve_csc(sg, signal_prefix="csc").sg
+        assert_implementable(sg)
+
+        implementations = synthesize_all(sg)
+        initial_netlist = Netlist(sg.name, implementations)
+        steps: List[DecompositionStep] = []
+        self._neutral_streak = 0
+        self._used_functions = {}
+        message = "already fits the library"
+
+        while True:
+            units = _units_of(implementations)
+            potential = _potential(units, self.library)
+            if potential == 0:
+                message = (f"mapped with {len(steps)} inserted signals"
+                           if steps else "already fits the library")
+                success = True
+                break
+            if len(steps) >= self.config.max_iterations:
+                success, message = False, "iteration limit reached"
+                break
+            step = self._try_decompose(sg, implementations, units,
+                                       potential, len(steps))
+            if step is None:
+                success, message = False, (
+                    "no divisor makes progress (not implementable in "
+                    f"{self.library})")
+                break
+            new_sg, new_implementations, record = step
+            sg, implementations = new_sg, new_implementations
+            steps.append(record)
+
+        return MappingResult(
+            name=sg.name,
+            library=self.library,
+            success=success,
+            message=message,
+            sg=sg,
+            implementations=implementations,
+            netlist=Netlist(sg.name, implementations),
+            initial_netlist=initial_netlist,
+            steps=steps,
+        )
+
+    # ------------------------------------------------------------------
+    # One decomposition step
+    # ------------------------------------------------------------------
+
+    def _try_decompose(self, sg: StateGraph,
+                       implementations: Dict[str, SignalImplementation],
+                       units: List[_Unit], potential: int,
+                       step_index: int) -> Optional[Tuple[StateGraph,
+                                                          Dict[str, SignalImplementation],
+                                                          DecompositionStep]]:
+        oversized = sorted(
+            (u for u in units
+             if u.complexity > self.library.max_literals),
+            key=lambda u: (-u.complexity, u.label))
+        k = self.library.max_literals
+        self._event_mass = {}
+        for u in units:
+            key = (u.signal, u.key[0])
+            self._event_mass[key] = (self._event_mass.get(key, 0)
+                                     + max(0, u.complexity - k))
+        signal_name = self._fresh_name(sg, step_index)
+        covers_by_region = {
+            u.key: (u.region, u.cover) for u in units
+            if u.region is not None}
+        best_neutral = None
+
+        for unit in oversized:
+            candidates = self._rank_divisors(sg, unit, units,
+                                             covers_by_region)
+            trials = 0
+            for _, function, partition in candidates:
+                if trials >= self.config.max_insertion_trials:
+                    break
+                trials += 1
+                try:
+                    new_sg = insert_signal(sg, partition, signal_name)
+                    if len(new_sg) > self.config.max_states:
+                        continue
+                    # Quick reject: the target signal itself must make
+                    # progress before paying for a full resynthesis
+                    # ("evaluate progress for decomposition of c(a*)").
+                    target_impl = synthesize_signal(new_sg, unit.signal)
+                    if not self._target_improved(unit, target_impl):
+                        continue
+                    new_implementations = synthesize_all(new_sg)
+                except (InsertionError, CoverError, CscViolation):
+                    continue
+                if not self._acknowledgment_ok(new_implementations,
+                                               unit, signal_name):
+                    continue
+                new_units = _units_of(new_implementations)
+                new_potential = _potential(new_units, self.library)
+                if new_potential > potential + self.config.max_regression:
+                    continue
+                if new_potential >= potential:
+                    # Neutral/regression step: the target shrank but
+                    # other covers grew by acknowledgment literals.
+                    # This is the normal Property-3.2 regime (pairing
+                    # the set AND reset networks of a wide join, or the
+                    # paper's own "+1 literal" allowance); keep the
+                    # best such step as a fallback, bounded by
+                    # max_neutral_steps to guarantee termination.
+                    # The inserted signal's own gate must fit the
+                    # library, otherwise the "progress" is a buffer
+                    # chain that just renames the oversized gate.
+                    new_gate_fits = (
+                        new_implementations[signal_name].max_complexity()
+                        <= self.library.max_literals)
+                    cost = 1 + (new_potential - potential)
+                    if (new_gate_fits
+                            and self._neutral_streak + cost
+                            <= self.config.max_neutral_steps
+                            and (best_neutral is None
+                                 or new_potential < best_neutral[4])):
+                        best_neutral = (new_sg, new_implementations,
+                                        function, unit, new_potential)
+                    continue
+                self._neutral_streak = 0
+                self._used_functions[function] = signal_name
+                record = DecompositionStep(
+                    signal=signal_name,
+                    target=unit.label,
+                    divisor=function.to_string(),
+                    before_complexity=unit.complexity,
+                    potential_before=potential,
+                    potential_after=new_potential,
+                    states_before=len(sg),
+                    states_after=len(new_sg))
+                return new_sg, new_implementations, record
+        if best_neutral is not None:
+            (new_sg, new_implementations, function, unit,
+             new_potential) = best_neutral
+            self._used_functions[function] = signal_name
+            self._neutral_streak += 1 + (new_potential - potential)
+            record = DecompositionStep(
+                signal=signal_name,
+                target=unit.label,
+                divisor=function.to_string(),
+                before_complexity=unit.complexity,
+                potential_before=potential,
+                potential_after=new_potential,
+                states_before=len(sg),
+                states_after=len(new_sg))
+            return new_sg, new_implementations, record
+        return None
+
+    def _rank_divisors(self, sg: StateGraph, unit: _Unit,
+                       units: List[_Unit],
+                       covers_by_region) -> List[Tuple[Tuple, SopCover,
+                                                       IPartition]]:
+        """Generate, filter and rank divisor candidates for a unit."""
+        chosen = unit.chosen
+        divisors = generate_divisors(
+            chosen, max_candidates=self.config.max_divisors,
+            recurse=self.config.global_acknowledgment)
+        if not self.config.global_acknowledgment:
+            # Siegel-style gate splitting: only sub-cubes of single
+            # cubes and sub-sets of the cube list qualify.
+            divisors = [f for f in divisors
+                        if self._is_gate_split(chosen, f)]
+        # Cheap pre-ranking before the expensive I-partition growth:
+        # library-implementable divisors first, then by the estimated
+        # target complexity after substitution.
+        oversized_signals = {u.signal for u in units
+                             if u.complexity > self.library.max_literals}
+        pre: List[Tuple[Tuple, SopCover, SopCover, SopCover]] = []
+        for function in divisors:
+            twin = self._used_functions.get(function)
+            if twin is not None and twin in oversized_signals:
+                # A previous insertion already realizes this function
+                # and its gate is still oversized; re-inserting the
+                # same function builds an acknowledgment buffer chain
+                # instead of making progress.
+                continue
+            quotient, remainder = algebraic_division(chosen, function)
+            if quotient.is_zero():
+                continue
+            estimate = (quotient.literal_count() + quotient.num_cubes()
+                        + remainder.literal_count())
+            if estimate >= unit.complexity:
+                continue
+            fits_cheap = 0 if (function.literal_count()
+                               <= self.library.max_literals) else 1
+            pre.append(((fits_cheap, estimate, function.to_string()),
+                        function, quotient, remainder))
+        pre.sort(key=lambda item: item[0])
+        budget = max(self.config.max_insertion_trials * 2, 8)
+        ranked: List[Tuple[Tuple, SopCover, IPartition]] = []
+        for _, function, quotient, remainder in pre[:budget]:
+            try:
+                partition = compute_insertion_sets(sg, function)
+            except InsertionError:
+                continue
+            estimate = (quotient.literal_count() + quotient.num_cubes()
+                        + remainder.literal_count())
+            # The extracted gate should itself be a library cell —
+            # oversized divisors only move the problem (and tend to
+            # regress into buffer chains), so they rank last.
+            fits = 0 if (function.literal_count()
+                         <= self.library.max_literals) else 1
+            score: Tuple
+            if self.config.use_progress_filters:
+                p31_ok = True
+                if unit.region is not None:
+                    siblings = [u.region for u in units
+                                if u.region is not None
+                                and u.region.event == unit.region.event]
+                    p31_ok = bool(check_property_31(
+                        sg, unit.region, siblings, unit.cover, function,
+                        quotient, remainder, partition))
+                bounded, unbounded = estimate_global_impact(
+                    sg, covers_by_region, partition, unit.key)
+                score = (fits, unbounded, 0 if p31_ok else 1, estimate,
+                         len(partition.er_plus) + len(partition.er_minus),
+                         function.to_string())
+            else:
+                score = (fits, estimate, function.to_string())
+            ranked.append((score, function, partition))
+        ranked.sort(key=lambda item: item[0])
+        return ranked
+
+    def _target_improved(self, unit: _Unit,
+                         target_impl: SignalImplementation) -> bool:
+        """Did the oversize mass of the targeted gate's event shrink?
+
+        ``self._event_mass`` holds Σ max(0, complexity − k) per
+        (signal, event) before the insertion; the candidate is worth a
+        full resynthesis only if the targeted event's own mass strictly
+        drops (the acknowledgment cost it inflicts elsewhere — even on
+        the sibling covers of the same signal — is judged later by the
+        global potential).
+        """
+        k = self.library.max_literals
+        before = self._event_mass.get((unit.signal, unit.key[0]), 0)
+        if target_impl.is_combinational:
+            after = max(0, (target_impl.complete_complexity or 0) - k)
+        else:
+            if unit.region is None:
+                # Complete-cover target resynthesized as sequential:
+                # judge the whole signal.
+                after = sum(max(0, rc.complexity - k)
+                            for rc in target_impl.region_covers)
+            else:
+                after = sum(max(0, rc.complexity - k)
+                            for rc in target_impl.cover_of_event(
+                                unit.key[0]))
+        return after < before
+
+    @staticmethod
+    def _is_gate_split(cover: SopCover, function: SopCover) -> bool:
+        """True for pure AND/OR sub-structure divisors (the only moves
+        the local-acknowledgment baseline may make)."""
+        if function.num_cubes() == 1 and cover.num_cubes() >= 1:
+            cube = function.cubes[0]
+            return any(c.contains(cube) or cube.contains(c)
+                       for c in cover)
+        return all(any(c == mine for mine in cover)
+                   for c in function)
+
+    def _acknowledgment_ok(self,
+                           implementations: Dict[str, SignalImplementation],
+                           unit: _Unit, signal_name: str) -> bool:
+        """In local-acknowledgment mode, only the target signal's covers
+        (and the new signal's own logic) may mention the new signal."""
+        if self.config.global_acknowledgment:
+            return True
+        for signal, impl in implementations.items():
+            if signal in (unit.signal, signal_name):
+                continue
+            covers = [rc.cover for rc in impl.region_covers]
+            if impl.complete is not None:
+                covers.append(impl.complete)
+            for cover in covers:
+                if signal_name in cover.support:
+                    return False
+        return True
+
+    def _fresh_name(self, sg: StateGraph, step_index: int) -> str:
+        name = f"{self.config.signal_prefix}{step_index}"
+        taken = set(sg.signals)
+        suffix = step_index
+        while name in taken:
+            suffix += 1
+            name = f"{self.config.signal_prefix}{suffix}"
+        return name
+
+
+def map_circuit(circuit: Union[Stg, StateGraph], library: GateLibrary,
+                config: Optional[MapperConfig] = None) -> MappingResult:
+    """Convenience wrapper: map a circuit into a library."""
+    return TechnologyMapper(library, config).map(circuit)

@@ -1,0 +1,70 @@
+"""Next-state functions and code partitions of a state graph.
+
+The bridge between the behavioural world (states, regions) and the
+boolean world (vectors, covers): every synthesis step ultimately calls
+:func:`vectors_of` to turn state sets into ON/OFF vector sets for the
+minimizer, or :func:`next_state_sets` for complete covers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro._util import FrozenVector
+from repro.errors import CscViolation
+from repro.sg.graph import State, StateGraph
+
+
+def vectors_of(sg: StateGraph, states: Iterable[State]) -> List[FrozenVector]:
+    """Binary codes of the given states (deduplicated, sorted)."""
+    return sorted({sg.code(s) for s in states}, key=lambda v: v.items())
+
+
+def code_partition(sg: StateGraph) -> Dict[FrozenVector, List[State]]:
+    """Group states by binary code."""
+    partition: Dict[FrozenVector, List[State]] = {}
+    for state in sg.states:
+        partition.setdefault(sg.code(state), []).append(state)
+    return partition
+
+
+def next_value(sg: StateGraph, state: State, signal: str) -> int:
+    """The *implied value* of a signal at a state.
+
+    1 if the signal is 1 and stable or rising (``a+`` enabled); 0 if it
+    is 0 and stable or falling.  This is the function a combinational
+    (complete-cover) implementation of the signal must compute.
+    """
+    value = sg.code(state)[signal]
+    if sg.is_excited(state, signal):
+        return 1 - value
+    return value
+
+
+def next_state_sets(sg: StateGraph,
+                    signal: str) -> Tuple[List[FrozenVector], List[FrozenVector]]:
+    """ON / OFF vector sets of the signal's next-state function.
+
+    Raises :class:`CscViolation` if some code appears with both implied
+    values — exactly the situation in which no logic function can
+    implement the signal.
+    """
+    on_states = [s for s in sg.states if next_value(sg, s, signal) == 1]
+    off_states = [s for s in sg.states if next_value(sg, s, signal) == 0]
+    on = vectors_of(sg, on_states)
+    off = vectors_of(sg, off_states)
+    clash = set(on) & set(off)
+    if clash:
+        sample = next(iter(clash))
+        raise CscViolation(
+            f"next-state function of {signal!r} is ill-defined on code "
+            f"{sample!r} (CSC violation)")
+    return on, off
+
+
+def excited_value_states(sg: StateGraph, signal: str,
+                         direction: str) -> Set[State]:
+    """States where the given transition of the signal is enabled."""
+    event = signal + direction
+    return {s for s in sg.states
+            if any(e == event for e, _ in sg.successors(s))}

@@ -1,0 +1,195 @@
+"""The speed-independence property suite for state graphs.
+
+§2.1 of the paper requires, for implementability:
+
+* **consistency** — checked structurally at SG construction
+  (:mod:`repro.sg.reachability`) and re-checkable here;
+* **speed-independence** = determinism + commutativity + output
+  persistency;
+* **Complete State Coding (CSC)** — equal codes ⇒ equal enabled output
+  events.
+
+Each check returns a list of human-readable violation strings;
+:func:`check_speed_independence` bundles everything into a
+:class:`PropertyReport`.  ``assert_*`` wrappers raise the corresponding
+library exception.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import (ConsistencyError, CscViolation,
+                          SpeedIndependenceError)
+from repro.sg.graph import StateGraph, event_signal
+
+
+def consistency_violations(sg: StateGraph) -> List[str]:
+    """Arc-level consistency of the binary encoding."""
+    problems: List[str] = []
+    for state in sg.states:
+        before = sg.code(state)
+        for event, target in sg.successors(state):
+            after = sg.code(target)
+            signal, direction = event[:-1], event[-1]
+            want = 0 if direction == "+" else 1
+            if before[signal] != want:
+                problems.append(
+                    f"{event} fires at {state!r} where {signal}={before[signal]}")
+            if after[signal] != 1 - want:
+                problems.append(f"{event} does not flip {signal} "
+                                f"at {state!r}")
+            changed = [s for s in sg.signals
+                       if s != signal and before[s] != after[s]]
+            if changed:
+                problems.append(f"{event} at {state!r} also changes "
+                                f"{changed}")
+    return problems
+
+
+def determinism_violations(sg: StateGraph) -> List[str]:
+    """No state may have two outgoing arcs with the same event label."""
+    problems: List[str] = []
+    for state in sg.states:
+        targets: Dict[str, Set] = {}
+        for event, target in sg.successors(state):
+            targets.setdefault(event, set()).add(target)
+        for event, where in targets.items():
+            if len(where) > 1:
+                problems.append(
+                    f"event {event} at state {state!r} leads to "
+                    f"{len(where)} different states")
+    return problems
+
+
+def commutativity_violations(sg: StateGraph) -> List[str]:
+    """Both interleavings of two events must reach the same state.
+
+    Only applies when both interleavings *exist*; a missing second leg
+    is a persistency issue, not a commutativity one.
+    """
+    problems: List[str] = []
+    for bottom in sg.states:
+        arcs = sg.successors(bottom)
+        for i, (event_a, side_a) in enumerate(arcs):
+            for event_b, side_b in arcs[i + 1:]:
+                if event_a == event_b:
+                    continue
+                tops_ab = {t for e, t in sg.successors(side_a)
+                           if e == event_b}
+                tops_ba = {t for e, t in sg.successors(side_b)
+                           if e == event_a}
+                if tops_ab and tops_ba and not (tops_ab & tops_ba):
+                    problems.append(
+                        f"events {event_a}/{event_b} from {bottom!r} do "
+                        "not commute (the two orders reach different "
+                        "states)")
+    return problems
+
+
+def persistency_violations(sg: StateGraph,
+                           include_inputs: bool = False) -> List[str]:
+    """Output events must stay enabled until they fire.
+
+    For every state where event ``u`` is enabled and another event ``b``
+    fires, ``u`` must still be enabled in the successor.  Input events
+    are exempt unless ``include_inputs`` (inputs are controlled by the
+    environment; their non-persistency is an environment choice, not a
+    hazard).
+    """
+    problems: List[str] = []
+    enabled_map: Dict = {
+        state: {event for event, _ in sg.successors(state)}
+        for state in sg.states}
+    for state, enabled in enabled_map.items():
+        for event in enabled:
+            if not include_inputs and sg.is_input_event(event):
+                continue
+            for other, target in sg.successors(state):
+                if other == event:
+                    continue
+                if event not in enabled_map[target]:
+                    problems.append(
+                        f"output event {event} enabled at {state!r} is "
+                        f"disabled by {other}")
+    return problems
+
+
+def csc_violations(sg: StateGraph) -> List[str]:
+    """Complete State Coding: same code ⇒ same enabled output events."""
+    problems: List[str] = []
+    by_code: Dict[Tuple, List] = {}
+    for state in sg.states:
+        by_code.setdefault(sg.code(state).items(), []).append(state)
+    outputs = set(sg.outputs)
+    for code, states in by_code.items():
+        if len(states) < 2:
+            continue
+        reference = None
+        for state in states:
+            enabled_outputs = frozenset(
+                e for e in sg.enabled(state)
+                if event_signal(e) in outputs)
+            if reference is None:
+                reference = enabled_outputs
+            elif enabled_outputs != reference:
+                bits = "".join(str(v) for _, v in code)
+                problems.append(
+                    f"states sharing code {bits} enable different "
+                    f"output events ({sorted(reference)} vs "
+                    f"{sorted(enabled_outputs)})")
+                break
+    return problems
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of the full SG property suite."""
+
+    consistency: List[str] = field(default_factory=list)
+    determinism: List[str] = field(default_factory=list)
+    commutativity: List[str] = field(default_factory=list)
+    persistency: List[str] = field(default_factory=list)
+    csc: List[str] = field(default_factory=list)
+
+    @property
+    def speed_independent(self) -> bool:
+        return not (self.determinism or self.commutativity
+                    or self.persistency)
+
+    @property
+    def implementable(self) -> bool:
+        return self.speed_independent and not (self.consistency
+                                               or self.csc)
+
+    def all_violations(self) -> List[str]:
+        return (self.consistency + self.determinism + self.commutativity
+                + self.persistency + self.csc)
+
+    def __bool__(self) -> bool:
+        return self.implementable
+
+
+def check_speed_independence(sg: StateGraph) -> PropertyReport:
+    """Run the complete property suite on a state graph."""
+    return PropertyReport(
+        consistency=consistency_violations(sg),
+        determinism=determinism_violations(sg),
+        commutativity=commutativity_violations(sg),
+        persistency=persistency_violations(sg),
+        csc=csc_violations(sg),
+    )
+
+
+def assert_implementable(sg: StateGraph) -> None:
+    """Raise the appropriate exception on the first failed property."""
+    report = check_speed_independence(sg)
+    if report.consistency:
+        raise ConsistencyError("; ".join(report.consistency[:3]))
+    if report.determinism or report.commutativity or report.persistency:
+        raise SpeedIndependenceError("; ".join(
+            (report.determinism + report.commutativity
+             + report.persistency)[:3]))
+    if report.csc:
+        raise CscViolation("; ".join(report.csc[:3]))

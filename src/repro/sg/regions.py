@@ -1,0 +1,167 @@
+"""Excitation, switching and quiescent regions; trigger events.
+
+§2.2 of the paper:
+
+* ``ER_j(a*)`` — a maximal *connected* set of states in which event
+  ``a*`` is enabled (an event may have several separated ERs,
+  distinguished by the index ``j``);
+* ``SR_j(a*)`` — the states reached immediately after firing ``a*``
+  from ``ER_j``;
+* ``QR_j(a*)`` — the *restricted* quiescent region: states reachable
+  from ``ER_j`` in which ``a`` is stable, excluding states reachable
+  from another ``ER_k(a*)`` without passing through ``ER_j``
+  (footnote 2 of the paper);
+* *trigger events* of ``ER_j`` — labels of arcs entering the region
+  from outside; trigger *signals* are necessarily inputs of any gate
+  implementing ``a``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.sg.graph import Event, State, StateGraph, event_signal
+
+
+@dataclass(frozen=True)
+class ExcitationRegion:
+    """One connected excitation region of an event."""
+
+    event: Event
+    index: int  # 1-based, per the paper's ER_j notation
+    states: FrozenSet[State]
+
+    @property
+    def signal(self) -> str:
+        return event_signal(self.event)
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __contains__(self, state: State) -> bool:
+        return state in self.states
+
+
+def excitation_regions(sg: StateGraph, event: Event) -> List[ExcitationRegion]:
+    """All excitation regions of ``event``, indexed deterministically.
+
+    Regions are numbered in order of first reachability (BFS from the
+    initial state) so that indices are stable across runs.
+    """
+    excited = {s for s in sg.states
+               if any(e == event for e, _ in sg.successors(s))}
+    components = sg.connected_components(excited)
+    ordered = _order_components(sg, components)
+    return [ExcitationRegion(event, i + 1, frozenset(component))
+            for i, component in enumerate(ordered)]
+
+
+def all_excitation_regions(sg: StateGraph,
+                           signals: Sequence[str] = ()) -> List[ExcitationRegion]:
+    """Excitation regions of every event of the given signals
+    (default: all output signals)."""
+    chosen = list(signals) or list(sg.outputs)
+    regions: List[ExcitationRegion] = []
+    for signal in chosen:
+        for direction in ("+", "-"):
+            regions.extend(excitation_regions(sg, signal + direction))
+    return regions
+
+
+def _order_components(sg: StateGraph,
+                      components: List[Set[State]]) -> List[Set[State]]:
+    order: Dict[State, int] = {}
+    frontier = [sg.initial]
+    order[sg.initial] = 0
+    index = 0
+    while index < len(frontier):
+        state = frontier[index]
+        index += 1
+        for _, target in sorted(sg.successors(state), key=repr):
+            if target not in order:
+                order[target] = len(order)
+                frontier.append(target)
+    return sorted(components,
+                  key=lambda c: min(order.get(s, len(order)) for s in c))
+
+
+def switching_region(sg: StateGraph, region: ExcitationRegion) -> Set[State]:
+    """States entered immediately after the event fires from the region."""
+    return {target for state in region.states
+            for event, target in sg.successors(state)
+            if event == region.event}
+
+
+def quiescent_region(sg: StateGraph, region: ExcitationRegion,
+                     siblings: Sequence[ExcitationRegion] = ()) -> Set[State]:
+    """The restricted quiescent region of one excitation region.
+
+    ``siblings`` are the other excitation regions of the *same event*;
+    states reachable from a sibling without passing through ``region``
+    are excluded (the paper's "restricted" QR, footnote 2).  The region
+    itself and other-event excitation states of the signal bound the
+    expansion: a state belongs to the QR only while the signal is
+    stable.
+    """
+    mine = _stable_closure(sg, region)
+    for sibling in siblings:
+        if sibling.index == region.index and sibling.event == region.event:
+            continue
+        if sibling.event != region.event:
+            continue
+        theirs = _stable_closure(sg, sibling)
+        mine -= theirs
+    return mine
+
+
+def _stable_closure(sg: StateGraph, region: ExcitationRegion) -> Set[State]:
+    """Forward closure from the switching region through signal-stable
+    states (the unrestricted quiescent region)."""
+    signal = region.signal
+    start = switching_region(sg, region)
+    closure: Set[State] = set()
+    frontier = [s for s in start if not sg.is_excited(s, signal)]
+    closure.update(frontier)
+    while frontier:
+        state = frontier.pop()
+        for _, target in sg.successors(state):
+            if target in closure:
+                continue
+            if sg.is_excited(target, signal):
+                continue
+            closure.add(target)
+            frontier.append(target)
+    return closure
+
+
+def quiescent_regions_by_event(sg: StateGraph,
+                               event: Event) -> List[Tuple[ExcitationRegion, Set[State]]]:
+    """Pair every ER of ``event`` with its restricted QR."""
+    regions = excitation_regions(sg, event)
+    return [(region, quiescent_region(sg, region, regions))
+            for region in regions]
+
+
+def trigger_events(sg: StateGraph, region: ExcitationRegion) -> Set[Event]:
+    """Events on arcs entering the region from outside it."""
+    triggers: Set[Event] = set()
+    for state in region.states:
+        for event, source in sg.predecessors(state):
+            if source not in region.states:
+                triggers.add(event)
+    return triggers
+
+
+def trigger_signals(sg: StateGraph, signal: str) -> Set[str]:
+    """Signals that trigger any transition of ``signal``.
+
+    These are guaranteed inputs of any SI gate implementation of the
+    signal (§2.2).
+    """
+    result: Set[str] = set()
+    for direction in ("+", "-"):
+        for region in excitation_regions(sg, signal + direction):
+            result.update(event_signal(e)
+                          for e in trigger_events(sg, region))
+    return result

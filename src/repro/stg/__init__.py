@@ -1,0 +1,28 @@
+"""Petri-net / Signal Transition Graph substrate.
+
+* :class:`~repro.stg.petri.PetriNet` — plain place/transition nets with
+  markings, enabling and firing;
+* :class:`~repro.stg.stg.Stg` and
+  :class:`~repro.stg.stg.SignalTransition` — STGs: Petri nets whose
+  transitions are labelled with signal edges (``a+`` / ``a-``), with an
+  input/output signal partition;
+* :mod:`~repro.stg.parser` / :mod:`~repro.stg.writer` — the ``.g``
+  (astg) textual interchange format used by the asynchronous-design
+  community (petrify, SIS);
+* :mod:`~repro.stg.builders` — programmatic construction helpers used
+  by the benchmark suite (handshakes, pipelines, sequencers).
+"""
+
+from repro.stg.petri import PetriNet
+from repro.stg.stg import SignalTransition, Stg
+from repro.stg.parser import parse_g, load_g
+from repro.stg.writer import write_g
+
+__all__ = [
+    "PetriNet",
+    "Stg",
+    "SignalTransition",
+    "parse_g",
+    "load_g",
+    "write_g",
+]

@@ -1,0 +1,191 @@
+""".g (astg) format parser.
+
+The ``.g`` format is the textual STG interchange format used by SIS,
+petrify and the asynchronous benchmark suite.  Supported subset::
+
+    .model name
+    .inputs a b
+    .outputs c d
+    .internal e
+    .graph
+    a+ b+            # arc(s) from a+ to b+ (implicit place)
+    p1 c+            # explicit place to transition
+    c+ p1            # transition to explicit place
+    .marking { <a+,b+> p1 }
+    .end
+
+Implicit places between two transitions may appear in the marking as
+``<source,target>``.  Comments start with ``#``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ParseError
+from repro.stg.stg import SignalTransition, Stg
+
+
+def _is_transition_token(token: str) -> bool:
+    body, _, suffix = token.partition("/")
+    if suffix and not suffix.isdigit():
+        return False
+    return len(body) >= 2 and body[-1] in "+-"
+
+
+def parse_g(text: str, name: Optional[str] = None) -> Stg:
+    """Parse ``.g`` source text into an :class:`Stg`."""
+    stg: Optional[Stg] = None
+    model_name = name or "stg"
+    inputs: List[str] = []
+    outputs: List[str] = []
+    internal: List[str] = []
+    graph_lines: List[Tuple[int, List[str]]] = []
+    marking_tokens: List[str] = []
+    in_graph = False
+    saw_end = False
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".model") or line.startswith(".name"):
+            model_name = name or line.split(None, 1)[1].strip()
+        elif line.startswith(".inputs"):
+            inputs.extend(line.split()[1:])
+        elif line.startswith(".outputs"):
+            outputs.extend(line.split()[1:])
+        elif line.startswith(".internal"):
+            internal.extend(line.split()[1:])
+        elif line.startswith(".dummy"):
+            raise ParseError("dummy transitions are not supported",
+                             line_no)
+        elif line.startswith(".graph"):
+            in_graph = True
+        elif line.startswith(".marking"):
+            in_graph = False
+            body = line.split(None, 1)[1].strip() if " " in line else ""
+            body = body.strip()
+            if not (body.startswith("{") and body.endswith("}")):
+                raise ParseError(".marking must be of the form "
+                                 "{ place place ... }", line_no)
+            marking_tokens = _split_marking(body[1:-1], line_no)
+        elif line.startswith(".end"):
+            saw_end = True
+            break
+        elif line.startswith("."):
+            raise ParseError(f"unknown directive {line.split()[0]!r}",
+                             line_no)
+        elif in_graph:
+            graph_lines.append((line_no, line.split()))
+        else:
+            raise ParseError(f"unexpected line {line!r}", line_no)
+
+    if not saw_end:
+        raise ParseError("missing .end directive")
+    if not outputs and not internal:
+        raise ParseError("no output signals declared")
+
+    stg = Stg(model_name)
+    for signal in inputs:
+        stg.add_input(signal)
+    for signal in outputs:
+        stg.add_output(signal)
+    for signal in internal:
+        stg.add_internal(signal)
+
+    # First pass: declare transitions and explicit places.
+    transition_tokens: Set[str] = set()
+    place_tokens: Set[str] = set()
+    for line_no, tokens in graph_lines:
+        for token in tokens:
+            if _is_transition_token(token):
+                transition_tokens.add(token)
+            else:
+                place_tokens.add(token)
+    for token in sorted(transition_tokens):
+        label = SignalTransition.parse(token)
+        if label.signal not in stg.signals:
+            raise ParseError(f"transition {token!r} uses undeclared "
+                             f"signal {label.signal!r}")
+        stg.ensure_transition(label)
+    for token in sorted(place_tokens):
+        stg.add_place(token)
+
+    # Second pass: arcs.  A line "x y z ..." adds arcs x->y, x->z, ...
+    implicit: Dict[Tuple[str, str], str] = {}
+    for line_no, tokens in graph_lines:
+        if len(tokens) < 2:
+            raise ParseError("graph line needs a source and at least one "
+                             "target", line_no)
+        source, targets = tokens[0], tokens[1:]
+        for target in targets:
+            source_is_t = _is_transition_token(source)
+            target_is_t = _is_transition_token(target)
+            if source_is_t and target_is_t:
+                canon_source = str(SignalTransition.parse(source))
+                canon_target = str(SignalTransition.parse(target))
+                place = stg.add_place()
+                stg.net.add_arc(canon_source, place)
+                stg.net.add_arc(place, canon_target)
+                implicit[(canon_source, canon_target)] = place
+            else:
+                canon_source = (str(SignalTransition.parse(source))
+                                if source_is_t else source)
+                canon_target = (str(SignalTransition.parse(target))
+                                if target_is_t else target)
+                stg.net.add_arc(canon_source, canon_target)
+
+    # Marking.
+    marked: List[str] = []
+    for token in marking_tokens:
+        if token.startswith("<") and token.endswith(">"):
+            body = token[1:-1]
+            parts = body.split(",")
+            if len(parts) != 2:
+                raise ParseError(f"bad implicit-place marking {token!r}")
+            pair = (str(SignalTransition.parse(parts[0].strip())),
+                    str(SignalTransition.parse(parts[1].strip())))
+            if pair not in implicit:
+                raise ParseError(f"marking names missing implicit place "
+                                 f"{token!r}")
+            marked.append(implicit[pair])
+        else:
+            if token not in place_tokens:
+                raise ParseError(f"marking names unknown place {token!r}")
+            marked.append(token)
+    stg.net.set_initial_marking(marked)
+    stg.validate()
+    return stg
+
+
+def _split_marking(body: str, line_no: int) -> List[str]:
+    tokens: List[str] = []
+    current = ""
+    depth = 0
+    for char in body:
+        if char == "<":
+            depth += 1
+            current += char
+        elif char == ">":
+            depth -= 1
+            if depth < 0:
+                raise ParseError("unbalanced '<' in marking", line_no)
+            current += char
+        elif char.isspace() and depth == 0:
+            if current:
+                tokens.append(current)
+                current = ""
+        else:
+            current += char
+    if depth != 0:
+        raise ParseError("unbalanced '<' in marking", line_no)
+    if current:
+        tokens.append(current)
+    return tokens
+
+
+def load_g(path: str) -> Stg:
+    """Parse a ``.g`` file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_g(handle.read())

@@ -1,0 +1,55 @@
+""".g (astg) format writer — inverse of :mod:`repro.stg.parser`."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.stg.stg import Stg
+
+
+def write_g(stg: Stg) -> str:
+    """Serialize an STG to ``.g`` source text.
+
+    Implicit places (exactly one producer and one consumer, unmarked or
+    marked) are rendered as direct transition→transition arcs; the
+    marking then uses the ``<source,target>`` notation.
+    """
+    lines: List[str] = [f".model {stg.name}"]
+    if stg.inputs:
+        lines.append(".inputs " + " ".join(stg.inputs))
+    outputs = [s for s in stg.outputs if s not in stg.internal]
+    if outputs:
+        lines.append(".outputs " + " ".join(outputs))
+    if stg.internal:
+        lines.append(".internal " + " ".join(stg.internal))
+    lines.append(".graph")
+
+    net = stg.net
+    marking_tokens: List[str] = []
+    explicit_places = []
+    for place in net.places:
+        producers = sorted(net.place_preset(place))
+        consumers = sorted(net.place_postset(place))
+        if len(producers) == 1 and len(consumers) == 1:
+            lines.append(f"{producers[0]} {consumers[0]}")
+            if place in net.initial_marking:
+                marking_tokens.append(f"<{producers[0]},{consumers[0]}>")
+        else:
+            explicit_places.append(place)
+            if place in net.initial_marking:
+                marking_tokens.append(place)
+    for place in explicit_places:
+        for producer in sorted(net.place_preset(place)):
+            lines.append(f"{producer} {place}")
+        for consumer in sorted(net.place_postset(place)):
+            lines.append(f"{place} {consumer}")
+
+    lines.append(".marking { " + " ".join(marking_tokens) + " }")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def save_g(stg: Stg, path: str) -> None:
+    """Write an STG to a ``.g`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_g(stg))

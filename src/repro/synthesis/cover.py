@@ -1,0 +1,332 @@
+"""Monotonous and complete covers (§2.2 of the paper).
+
+For each excitation region ``ER_j(a*)`` a *monotonous poly-term cover*
+``c_j(a*)`` is synthesized such that:
+
+1. ``c_j`` covers every state of ``ER_j``;
+2. ``c_j`` covers no state of ``ER_i ∪ QR_i`` for ``i ≠ j`` — nor any
+   state outside ``ER_j ∪ QR_j`` at all (the covering condition of the
+   underlying theory [Kondratyev et al., DAC'94]);
+3. ``c_j`` changes at most once (1→0, monotonically) inside ``QR_j``.
+
+Synthesis runs the two-level minimizer with ON = ``ER_j``,
+OFF = everything outside ``ER_j ∪ QR_j``, DC = ``QR_j``, then repairs
+monotonicity by forcing to OFF any quiescent state whose cover value
+rises again after a fall; the repair loop always terminates because the
+OFF-set grows strictly.
+
+**Generalized regions.**  When two ERs of the same event share binary
+codes (or one ER's codes appear in a sibling's quiescent region),
+separate covers cannot exist — condition 2 would contradict condition 1.
+The underlying theory generalizes to one cover serving *several* regions
+(the paper's footnote 3); :func:`synthesize_event_covers` merges such
+regions into groups and synthesizes one monotonous cover per group.
+
+A *complete cover* is the minimized next-state function of a signal,
+restricted to a support that excludes the signal itself; when it exists
+and is no more complex than the set/reset networks, the signal is
+implemented combinationally and the C element degenerates to a wire
+(Figure 2 b/c of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro._util import FrozenVector
+from repro.boolean.minimize import minimize
+from repro.boolean.sop import SopCover
+from repro.errors import CoverError, CscViolation
+from repro.sg.encoding import next_state_sets, vectors_of
+from repro.sg.graph import State, StateGraph
+from repro.sg.regions import (ExcitationRegion, excitation_regions,
+                              quiescent_region, switching_region,
+                              _stable_closure)
+
+
+@dataclass
+class RegionCover:
+    """A monotonous cover for one excitation-region group.
+
+    ``regions`` usually holds a single region; it holds several when
+    code sharing forced a generalized (merged) cover.
+    """
+
+    regions: Tuple[ExcitationRegion, ...]
+    cover: SopCover
+    complement: SopCover
+    quiescent: Set[State] = field(default_factory=set)
+
+    @property
+    def region(self) -> ExcitationRegion:
+        """The primary (lowest-index) region of the group."""
+        return self.regions[0]
+
+    @property
+    def event(self) -> str:
+        return self.regions[0].event
+
+    @property
+    def states(self) -> Set[State]:
+        out: Set[State] = set()
+        for region in self.regions:
+            out |= region.states
+        return out
+
+    @property
+    def complexity(self) -> int:
+        """The paper's complexity measure: min over both polarities."""
+        return min(self.cover.literal_count(),
+                   self.complement.literal_count())
+
+    def __repr__(self) -> str:
+        indices = ",".join(str(r.index) for r in self.regions)
+        return (f"RegionCover({self.event}/{indices}: "
+                f"{self.cover.to_string()})")
+
+
+def _codes(sg: StateGraph, states) -> Set[FrozenVector]:
+    return {sg.code(s) for s in states}
+
+
+def _group_regions(sg: StateGraph,
+                   regions: Sequence[ExcitationRegion]) -> List[List[ExcitationRegion]]:
+    """Partition the ERs of one event into generalized-cover groups.
+
+    Regions are merged when one region's ER codes intersect another's
+    ER ∪ QR codes — exactly the situation in which MC conditions 1 and
+    2 for separate covers contradict each other.
+    """
+    regions = list(regions)
+    if len(regions) <= 1:
+        return [regions] if regions else []
+    closures = {r.index: _stable_closure(sg, r) for r in regions}
+    er_codes = {r.index: _codes(sg, r.states) for r in regions}
+    zone_codes = {r.index: er_codes[r.index]
+                  | _codes(sg, closures[r.index]) for r in regions}
+
+    parent = {r.index: r.index for r in regions}
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        parent[find(i)] = find(j)
+
+    for left in regions:
+        for right in regions:
+            if left.index >= right.index:
+                continue
+            if (er_codes[left.index] & zone_codes[right.index]
+                    or er_codes[right.index] & zone_codes[left.index]):
+                union(left.index, right.index)
+
+    groups: Dict[int, List[ExcitationRegion]] = {}
+    for region in regions:
+        groups.setdefault(find(region.index), []).append(region)
+    ordered = [sorted(group, key=lambda r: r.index)
+               for group in groups.values()]
+    ordered.sort(key=lambda group: group[0].index)
+    return ordered
+
+
+def _group_quiescent(sg: StateGraph, group: Sequence[ExcitationRegion],
+                     others: Sequence[ExcitationRegion]) -> Set[State]:
+    """Restricted quiescent region of a region group: the union of the
+    group's stable closures minus the closures of non-group siblings."""
+    mine: Set[State] = set()
+    for region in group:
+        mine |= _stable_closure(sg, region)
+    for region in others:
+        mine -= _stable_closure(sg, region)
+    return mine
+
+
+def _synthesize_group(sg: StateGraph, group: Sequence[ExcitationRegion],
+                      others: Sequence[ExcitationRegion],
+                      support: Optional[Sequence[str]] = None) -> RegionCover:
+    support = list(support) if support is not None else list(sg.signals)
+    quiescent = _group_quiescent(sg, group, others)
+    er_states: Set[State] = set()
+    for region in group:
+        er_states |= region.states
+    inside = er_states | quiescent
+    on_vectors = vectors_of(sg, er_states)
+    off_vectors = set(vectors_of(
+        sg, [s for s in sg.states if s not in inside]))
+
+    for _ in range(len(sg.states) + 1):
+        cover = minimize(on_vectors,
+                         sorted(off_vectors, key=lambda v: v.items()),
+                         support)
+        violation = _monotonicity_violation(sg, cover, quiescent)
+        if violation is None:
+            complement = minimize(
+                sorted(off_vectors, key=lambda v: v.items()),
+                on_vectors, support)
+            return RegionCover(tuple(group), cover, complement, quiescent)
+        off_vectors.add(violation)
+    event = group[0].event
+    raise CoverError(
+        f"monotonicity repair for {event} did not converge")
+
+
+def monotonous_cover(sg: StateGraph, region: ExcitationRegion,
+                     siblings: Sequence[ExcitationRegion] = (),
+                     support: Optional[Sequence[str]] = None) -> RegionCover:
+    """Synthesize the monotonous cover of one excitation region.
+
+    ``siblings`` must contain the other ERs of the same event (used for
+    the restricted quiescent regions); ``support`` restricts the signals
+    the cover may mention (default: all).  Raises :class:`CoverError`
+    when no per-region cover exists — callers that must always succeed
+    use :func:`synthesize_event_covers`, which merges regions instead.
+    """
+    others = [r for r in siblings
+              if (r.event, r.index) != (region.event, region.index)]
+    return _synthesize_group(sg, [region], others, support)
+
+
+def synthesize_event_covers(sg: StateGraph, event: str,
+                            support: Optional[Sequence[str]] = None) -> List[RegionCover]:
+    """All monotonous covers of an event, merging regions as needed."""
+    regions = excitation_regions(sg, event)
+    if not regions:
+        return []
+    covers = []
+    groups = _group_regions(sg, regions)
+    for group in groups:
+        others = [r for g in groups if g is not group for r in g]
+        covers.append(_synthesize_group(sg, group, others, support))
+    return covers
+
+
+def _monotonicity_violation(sg: StateGraph, cover: SopCover,
+                            quiescent: Set[State]) -> Optional[FrozenVector]:
+    """First quiescent state whose cover value *rises* along an arc
+    inside the quiescent region; its code must be forced OFF."""
+    for state in quiescent:
+        if cover.evaluate(sg.code(state)):
+            continue
+        for _, target in sg.successors(state):
+            if target in quiescent and cover.evaluate(sg.code(target)):
+                return sg.code(target)
+    return None
+
+
+def complete_cover(sg: StateGraph, signal: str) -> Optional[Tuple[SopCover, SopCover]]:
+    """Minimized next-state function without self-dependency.
+
+    Returns ``(cover, complement)`` when the signal admits a
+    combinational implementation (its next-state function does not need
+    the signal itself in the support), else ``None``.
+    """
+    on, off = next_state_sets(sg, signal)
+    support = [s for s in sg.signals if s != signal]
+    try:
+        cover = minimize(on, off, support)
+        complement = minimize(off, on, support)
+    except CoverError:
+        return None
+    return cover, complement
+
+
+def complete_cover_with_self(sg: StateGraph,
+                             signal: str) -> Tuple[SopCover, SopCover]:
+    """Minimized next-state function, self-dependency allowed.
+
+    This always exists under CSC and is the atomic-complex-gate
+    implementation of the signal (a state-holding gate when the support
+    includes the signal itself).
+    """
+    on, off = next_state_sets(sg, signal)
+    cover = minimize(on, off, list(sg.signals))
+    complement = minimize(off, on, list(sg.signals))
+    return cover, complement
+
+
+@dataclass
+class SignalImplementation:
+    """The standard-C implementation pieces of one output signal.
+
+    ``combinational`` records the architecture choice: when the signal
+    admits a complete cover (no self-dependency) *and* that cover is no
+    more complex than the set/reset networks it would replace, the C
+    element collapses to a wire (Figure 2 b/c of the paper).
+    """
+
+    signal: str
+    set_covers: List[RegionCover]
+    reset_covers: List[RegionCover]
+    complete: Optional[SopCover]
+    complete_complement: Optional[SopCover]
+    combinational: bool = False
+
+    @property
+    def is_combinational(self) -> bool:
+        return self.combinational and self.complete is not None
+
+    @property
+    def region_covers(self) -> List[RegionCover]:
+        return self.set_covers + self.reset_covers
+
+    def cover_of_event(self, event: str) -> List[RegionCover]:
+        return [rc for rc in self.region_covers if rc.event == event]
+
+    @property
+    def complete_complexity(self) -> Optional[int]:
+        if self.complete is None:
+            return None
+        return min(self.complete.literal_count(),
+                   self.complete_complement.literal_count())
+
+    def max_complexity(self) -> int:
+        """Worst gate complexity of this signal's implementation.
+
+        For combinational signals the single complete-cover gate; for
+        sequential ones the worst first-level region cover.
+        """
+        if self.is_combinational:
+            return self.complete_complexity or 0
+        return max(rc.complexity for rc in self.region_covers)
+
+    def __repr__(self) -> str:
+        kind = "comb" if self.is_combinational else "seqC"
+        return f"SignalImplementation({self.signal}, {kind})"
+
+
+def synthesize_signal(sg: StateGraph, signal: str) -> SignalImplementation:
+    """Monotonous covers (and complete cover, if any) of one signal."""
+    if signal in sg.inputs:
+        raise CoverError(f"signal {signal!r} is an input; inputs are "
+                         "driven by the environment")
+    set_covers = synthesize_event_covers(sg, signal + "+")
+    reset_covers = synthesize_event_covers(sg, signal + "-")
+    pair = complete_cover(sg, signal)
+    complete, complement = pair if pair is not None else (None, None)
+    combinational = False
+    if complete is not None:
+        complete_cost = min(complete.literal_count(),
+                            complement.literal_count())
+        sequential_worst = max(rc.complexity
+                               for rc in set_covers + reset_covers)
+        sequential_total = sum(rc.complexity
+                               for rc in set_covers + reset_covers)
+        # Collapse the C element when the single complete-cover gate is
+        # no worse than the standard-C network it replaces, both in the
+        # worst gate (what the library must fit) and in total literals.
+        combinational = (complete_cost <= max(2, sequential_worst)
+                         and complete_cost <= sequential_total)
+    return SignalImplementation(signal, set_covers, reset_covers,
+                                complete, complement,
+                                combinational=combinational)
+
+
+def synthesize_all(sg: StateGraph) -> Dict[str, SignalImplementation]:
+    """Synthesize every output signal of the state graph."""
+    return {signal: synthesize_signal(sg, signal)
+            for signal in sg.outputs}

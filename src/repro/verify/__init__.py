@@ -1,0 +1,22 @@
+"""Posterior verification of mapped circuits.
+
+* :mod:`~repro.verify.si_check` — gate-level checks of a standard-C
+  implementation against its state graph: functional correctness of
+  every gate in every reachable state, set/reset conflict freedom,
+  one-hot first levels and the Monotonous Cover conditions (which imply
+  speed-independence of the implementation, per the theory of
+  Kondratyev et al. the paper builds on);
+* :mod:`~repro.verify.conformance` — weak-bisimulation conformance
+  between the SG after signal insertions and the original specification
+  with the inserted signals hidden;
+* :mod:`~repro.verify.simulate` — event-driven gate-level simulation
+  with adversarial scheduling (Monte-Carlo semi-modularity testing).
+"""
+
+from repro.verify.si_check import verify_implementation
+from repro.verify.conformance import weakly_bisimilar
+from repro.verify.simulate import (GateLevelSimulator,
+                                   simulate_implementation)
+
+__all__ = ["verify_implementation", "weakly_bisimilar",
+           "GateLevelSimulator", "simulate_implementation"]

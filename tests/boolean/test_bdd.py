@@ -1,0 +1,135 @@
+"""Unit tests for the ROBDD package."""
+
+import itertools
+
+import pytest
+
+from repro.boolean.bdd import Bdd
+from repro.boolean.cube import Cube
+from repro.boolean.sop import SopCover
+
+
+@pytest.fixture
+def manager():
+    return Bdd(["a", "b", "c", "d"])
+
+
+class TestBasics:
+    def test_terminals(self, manager):
+        assert manager.is_tautology(Bdd.TRUE)
+        assert manager.is_contradiction(Bdd.FALSE)
+
+    def test_var_evaluation(self, manager):
+        node = manager.var("a")
+        assert manager.evaluate(node, {"a": 1, "b": 0, "c": 0, "d": 0})
+        assert not manager.evaluate(node, {"a": 0, "b": 0, "c": 0, "d": 0})
+
+    def test_nvar(self, manager):
+        node = manager.nvar("b")
+        assert manager.evaluate(node, {"a": 0, "b": 0, "c": 0, "d": 0})
+
+    def test_unknown_variable(self, manager):
+        with pytest.raises(KeyError):
+            manager.var("z")
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(ValueError):
+            Bdd(["a", "a"])
+
+    def test_hash_consing(self, manager):
+        assert manager.var("a") == manager.var("a")
+
+
+class TestOperations:
+    def test_and_or_not(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        both = manager.apply_and(a, b)
+        either = manager.apply_or(a, b)
+        for va, vb in itertools.product((0, 1), repeat=2):
+            v = {"a": va, "b": vb, "c": 0, "d": 0}
+            assert manager.evaluate(both, v) == bool(va and vb)
+            assert manager.evaluate(either, v) == bool(va or vb)
+        assert manager.negate(manager.negate(a)) == a
+
+    def test_xor(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        xor = manager.apply_xor(a, b)
+        for va, vb in itertools.product((0, 1), repeat=2):
+            v = {"a": va, "b": vb, "c": 0, "d": 0}
+            assert manager.evaluate(xor, v) == (va != vb)
+
+    def test_excluded_middle(self, manager):
+        a = manager.var("a")
+        assert manager.apply_or(a, manager.negate(a)) == Bdd.TRUE
+        assert manager.apply_and(a, manager.negate(a)) == Bdd.FALSE
+
+    def test_ite_identity(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        assert manager.ite(a, b, b) == b
+        assert manager.ite(Bdd.TRUE, a, b) == a
+        assert manager.ite(Bdd.FALSE, a, b) == b
+
+    def test_restrict(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        f = manager.apply_and(a, b)
+        assert manager.restrict(f, "a", 1) == b
+        assert manager.restrict(f, "a", 0) == Bdd.FALSE
+
+    def test_canonical_equivalence(self, manager):
+        # (a AND b) OR (a AND c) == a AND (b OR c)
+        a, b, c = (manager.var(x) for x in "abc")
+        left = manager.apply_or(manager.apply_and(a, b),
+                                manager.apply_and(a, c))
+        right = manager.apply_and(a, manager.apply_or(b, c))
+        assert manager.equivalent(left, right)
+
+    def test_implies(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        assert manager.implies(manager.apply_and(a, b), a)
+        assert not manager.implies(a, manager.apply_and(a, b))
+
+
+class TestSopBridge:
+    def test_cube(self, manager):
+        node = manager.cube(Cube.from_string("a b'"))
+        assert manager.evaluate(node, {"a": 1, "b": 0, "c": 0, "d": 0})
+        assert not manager.evaluate(node, {"a": 1, "b": 1, "c": 0, "d": 0})
+
+    def test_sop_matches_cover_semantics(self, manager):
+        cover = SopCover.from_string("a b + c' d + a d")
+        node = manager.sop(cover)
+        for bits in itertools.product((0, 1), repeat=4):
+            v = dict(zip("abcd", bits))
+            assert manager.evaluate(node, v) == cover.evaluate(v)
+
+    def test_sop_complement_check(self, manager):
+        cover = SopCover.from_string("a b' + c")
+        node = manager.sop(cover)
+        comp = manager.sop(cover.complement())
+        assert manager.apply_or(node, comp) == Bdd.TRUE
+        assert manager.apply_and(node, comp) == Bdd.FALSE
+
+
+class TestQueries:
+    def test_sat_count(self, manager):
+        a = manager.var("a")
+        assert manager.sat_count(a) == 8  # half of 2^4
+        ab = manager.apply_and(a, manager.var("b"))
+        assert manager.sat_count(ab) == 4
+        assert manager.sat_count(Bdd.TRUE) == 16
+        assert manager.sat_count(Bdd.FALSE) == 0
+
+    def test_support(self, manager):
+        f = manager.apply_and(manager.var("a"), manager.var("c"))
+        assert manager.support(f) == ("a", "c")
+
+    def test_one_sat(self, manager):
+        f = manager.apply_and(manager.var("a"), manager.nvar("c"))
+        assignment = manager.one_sat(f)
+        assert assignment["a"] == 1 and assignment["c"] == 0
+        assert manager.one_sat(Bdd.FALSE) is None
+
+    def test_node_count(self, manager):
+        assert manager.node_count(manager.var("a")) == 1
+        f = manager.apply_xor(manager.var("a"), manager.var("b"))
+        assert manager.node_count(f) >= 2

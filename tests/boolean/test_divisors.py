@@ -1,0 +1,124 @@
+"""Unit tests for algebraic division, kernels and divisor generation."""
+
+import pytest
+
+from repro.boolean.divisors import (algebraic_division, co_kernels,
+                                    generate_divisors, kernels)
+from repro.boolean.sop import SopCover
+
+
+def cover(text):
+    return SopCover.from_string(text)
+
+
+class TestAlgebraicDivision:
+    def test_textbook_division(self):
+        # (a + b) divides ac + bc + d with quotient c, remainder d.
+        quotient, rest = algebraic_division(cover("a c + b c + d"),
+                                            cover("a + b"))
+        assert quotient == cover("c")
+        assert rest == cover("d")
+
+    def test_cube_division(self):
+        quotient, rest = algebraic_division(cover("a b c + a b d"),
+                                            cover("a b"))
+        assert quotient == cover("c + d")
+        assert rest.is_zero()
+
+    def test_division_failure_gives_zero_quotient(self):
+        quotient, rest = algebraic_division(cover("a b"), cover("c"))
+        assert quotient.is_zero()
+        assert rest == cover("a b")
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            algebraic_division(cover("a"), cover("0"))
+
+    def test_reconstruction_invariant(self):
+        c = cover("a c + b c + a d + b d + e")
+        divisor = cover("a + b")
+        quotient, rest = algebraic_division(c, divisor)
+        rebuilt = divisor.times(quotient).plus(rest)
+        assert rebuilt.equivalent(c)
+
+    def test_partial_quotient(self):
+        # a b + a c + b d: dividing by (b + c) only a-cubes qualify.
+        quotient, rest = algebraic_division(cover("a b + a c + b d"),
+                                            cover("b + c"))
+        assert quotient == cover("a")
+        assert rest == cover("b d")
+
+
+class TestKernels:
+    def test_paper_example_kernel(self):
+        # §3.1, Example 2: c(z*) = ab + ac + def has kernel b + c.
+        ks = kernels(cover("a b + a c + d e f"))
+        assert cover("b + c") in ks
+
+    def test_cube_free_cover_is_own_kernel(self):
+        ks = kernels(cover("a b + c d"))
+        assert cover("a b + c d") in ks
+
+    def test_single_cube_has_no_kernels(self):
+        assert kernels(cover("a b c")) == []
+
+    def test_co_kernel_pairing(self):
+        pairs = co_kernels(cover("a b + a c"))
+        kernel_map = {kernel: ck for ck, kernel in pairs}
+        assert cover("b + c") in kernel_map
+        assert kernel_map[cover("b + c")].to_string() == "a"
+
+    def test_classic_multilevel_example(self):
+        # f = adf + aef + bdf + bef + cdf + cef + g
+        #   = (a + b + c)(d + e)f + g
+        f = cover("a d f + a e f + b d f + b e f + c d f + c e f + g")
+        ks = kernels(f)
+        assert cover("a + b + c") in ks
+        assert cover("d + e") in ks
+
+    def test_kernels_are_cube_free(self):
+        for kernel in kernels(cover("a b + a c + a d e + b c d")):
+            assert kernel.is_cube_free()
+
+
+class TestGenerateDivisors:
+    def test_paper_example_2(self):
+        # For c = ab + ac + def the paper lists: the kernel b + c, the
+        # OR-decompositions (subsets of cubes) and AND-decompositions
+        # de, df, ef of the 3-literal cube.
+        divisors = generate_divisors(cover("a b + a c + d e f"),
+                                     max_candidates=64)
+        assert cover("b + c") in divisors
+        assert cover("a b") in divisors
+        assert cover("a b + a c") in divisors
+        assert cover("d e") in divisors
+        assert cover("d f") in divisors
+        assert cover("e f") in divisors
+
+    def test_single_cube_and_decomposition(self):
+        # §3.1 example hazard.g: a single 3-literal cube has exactly its
+        # three 2-literal sub-cubes as divisors.
+        divisors = generate_divisors(cover("a' d' c"))
+        assert cover("a' d'") in divisors
+        assert cover("a' c") in divisors
+        assert cover("d' c") in divisors
+
+    def test_no_trivial_divisors(self):
+        for divisor in generate_divisors(cover("a b + a c + d e f")):
+            assert divisor.literal_count() >= 2
+
+    def test_cover_itself_excluded(self):
+        c = cover("a b + c d")
+        assert c not in generate_divisors(c)
+
+    def test_max_candidates_respected(self):
+        c = cover("a b + c d + e f + g h + i j + k l")
+        assert len(generate_divisors(c, max_candidates=10)) <= 10
+
+    def test_two_literal_cover_has_no_divisors(self):
+        assert generate_divisors(cover("a b")) == []
+
+    def test_sorted_by_size(self):
+        divisors = generate_divisors(cover("a b + a c + d e f"))
+        sizes = [d.literal_count() for d in divisors]
+        assert sizes == sorted(sizes)

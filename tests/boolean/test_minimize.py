@@ -1,0 +1,134 @@
+"""Unit tests for the two-level minimizer."""
+
+import itertools
+
+import pytest
+
+from repro.boolean.minimize import expand_cube, literal_complexity, minimize
+from repro.boolean.cube import Cube
+from repro.errors import CoverError
+from repro._util import FrozenVector
+
+
+def vectors(support, bits_list):
+    return [dict(zip(support, [int(b) for b in bits]))
+            for bits in bits_list]
+
+
+class TestMinimize:
+    def test_constant_one(self):
+        support = ["a", "b"]
+        on = vectors(support, ["00", "01", "10", "11"])
+        cover = minimize(on, [], support)
+        assert cover.is_one()
+
+    def test_constant_zero(self):
+        assert minimize([], vectors(["a"], ["0"]), ["a"]).is_zero()
+
+    def test_overlap_raises(self):
+        with pytest.raises(CoverError):
+            minimize(vectors(["a"], ["1"]), vectors(["a"], ["1"]), ["a"])
+
+    def test_single_minterm(self):
+        support = ["a", "b"]
+        cover = minimize(vectors(support, ["10"]),
+                         vectors(support, ["00", "01", "11"]), support)
+        assert cover.to_string() == "a b'"
+
+    def test_dont_cares_enable_expansion(self):
+        # ON = {11}, OFF = {00}; 01 and 10 are DC, so a single literal
+        # suffices.
+        support = ["a", "b"]
+        cover = minimize(vectors(support, ["11"]),
+                         vectors(support, ["00"]), support)
+        assert cover.literal_count() == 1
+
+    def test_full_function_xor(self):
+        support = ["a", "b"]
+        on = vectors(support, ["01", "10"])
+        off = vectors(support, ["00", "11"])
+        cover = minimize(on, off, support)
+        assert cover.literal_count() == 4  # XOR is irreducible
+
+    def test_covers_on_avoids_off_exhaustive(self):
+        # Random-ish incompletely specified functions over 4 variables.
+        support = ["a", "b", "c", "d"]
+        space = [dict(zip(support, bits))
+                 for bits in itertools.product((0, 1), repeat=4)]
+        on = [v for i, v in enumerate(space) if i % 3 == 0]
+        off = [v for i, v in enumerate(space) if i % 3 == 1]
+        cover = minimize(on, off, support)
+        for v in on:
+            assert cover.evaluate(v)
+        for v in off:
+            assert not cover.evaluate(v)
+
+    def test_projection_of_extra_signals(self):
+        support = ["a"]
+        cover = minimize([{"a": 1, "z": 0}], [{"a": 0, "z": 1}], support)
+        assert cover.to_string() == "a"
+
+    def test_quality_adjacent_minterms_merge(self):
+        support = ["a", "b", "c"]
+        on = vectors(support, ["110", "111"])
+        off = vectors(support, ["000", "001", "010", "011", "100", "101"])
+        cover = minimize(on, off, support)
+        assert cover.to_string() == "a b"
+
+    def test_multi_cube_result(self):
+        support = ["a", "b"]
+        on = vectors(support, ["01", "10", "11"])
+        off = vectors(support, ["00"])
+        cover = minimize(on, off, support)
+        assert cover.equivalent(minimize(on, off, support))
+        assert cover.literal_count() == 2  # a + b
+
+
+class TestExpandCube:
+    def test_expand_removes_redundant_literals(self):
+        off = [FrozenVector({"a": 0, "b": 0})]
+        cube = Cube.from_string("a b")
+        expanded = expand_cube(cube, off)
+        assert len(expanded) == 1
+
+    def test_expand_blocked_by_off(self):
+        off = [FrozenVector({"a": 1, "b": 0}),
+               FrozenVector({"a": 0, "b": 1})]
+        cube = Cube.from_string("a b")
+        assert expand_cube(cube, off) == cube
+
+
+class TestLiteralComplexity:
+    def test_xor_is_four_literals(self):
+        support = ["a", "b"]
+        on = vectors(support, ["01", "10"])
+        off = vectors(support, ["00", "11"])
+        complexity, cover, complement = literal_complexity(on, off, support)
+        assert complexity == 4
+        assert cover.literal_count() == 4
+        assert complement.literal_count() == 4
+
+    def test_measure_uses_cheaper_polarity(self):
+        # f = a + b + c (3 literals); f' = a'b'c' (3 literals) — tie.
+        # g = a b + a c + b c (6 literals); g' is also majority (6).
+        # h = a' b' (2) vs h' = a + b (2).
+        support = ["a", "b", "c"]
+        space = [dict(zip(support, bits))
+                 for bits in itertools.product((0, 1), repeat=3)]
+        on = [v for v in space if not (v["a"] or v["b"])]
+        off = [v for v in space if v["a"] or v["b"]]
+        complexity, _, _ = literal_complexity(on, off, support)
+        assert complexity == 2
+
+    def test_paper_example_4_literal_and_or(self):
+        # f = ab + ac + db + dc = (a + d)(b + c); complement has 4
+        # literals (a'd' + b'c'), so the paper counts f as a 4-literal
+        # gate (§4).
+        support = ["a", "b", "c", "d"]
+        space = [dict(zip(support, bits))
+                 for bits in itertools.product((0, 1), repeat=4)]
+        on = [v for v in space
+              if (v["a"] or v["d"]) and (v["b"] or v["c"])]
+        off = [v for v in space if v not in on]
+        complexity, _, _ = literal_complexity(on, off, support)
+        assert complexity == 4

@@ -1,0 +1,143 @@
+"""Unit tests for :mod:`repro.boolean.sop`."""
+
+import pytest
+
+from repro.boolean.cube import Cube
+from repro.boolean.sop import SopCover
+
+
+def cover(text):
+    return SopCover.from_string(text)
+
+
+class TestConstruction:
+    def test_zero_and_one(self):
+        assert cover("0").is_zero()
+        assert cover("1").is_one()
+        assert SopCover.zero().literal_count() == 0
+
+    def test_single_cube_containment_dedup(self):
+        c = cover("a + a b")
+        assert c.num_cubes() == 1
+        assert c == cover("a")
+
+    def test_duplicate_cubes_merge(self):
+        assert cover("a b + a b").num_cubes() == 1
+
+    def test_from_minterms(self):
+        c = SopCover.from_minterms(
+            [{"a": 1, "b": 0}, {"a": 1, "b": 1}], ["a", "b"])
+        assert c.evaluate({"a": 1, "b": 0})
+        assert c.evaluate({"a": 1, "b": 1})
+        assert not c.evaluate({"a": 0, "b": 0})
+
+    def test_literal_count(self):
+        assert cover("a b + c").literal_count() == 3
+
+    def test_support(self):
+        assert cover("a b + c d'").support == ("a", "b", "c", "d")
+
+
+class TestSemantics:
+    def test_evaluate_or_of_cubes(self):
+        c = cover("a b + a' c")
+        assert c.evaluate({"a": 1, "b": 1, "c": 0})
+        assert c.evaluate({"a": 0, "b": 0, "c": 1})
+        assert not c.evaluate({"a": 0, "b": 1, "c": 0})
+
+    def test_covers_cube(self):
+        c = cover("a b + a b'")
+        assert c.covers_cube(Cube.from_string("a"))
+        assert not c.covers_cube(Cube.from_string("b"))
+
+    def test_covers_cover(self):
+        assert cover("a + b").covers(cover("a b"))
+        assert not cover("a b").covers(cover("a"))
+
+    def test_equivalent(self):
+        assert cover("a b + a b'").equivalent(cover("a"))
+
+    def test_tautology_positive(self):
+        assert cover("a + a'").is_tautology()
+        assert cover("a b + a' + b'").is_tautology()
+
+    def test_tautology_negative(self):
+        assert not cover("a + b").is_tautology()
+        assert not cover("0").is_tautology()
+
+    def test_cofactor(self):
+        c = cover("a b + a' c")
+        assert c.cofactor("a", 1).equivalent(cover("b"))
+        assert c.cofactor("a", 0).equivalent(cover("c"))
+
+    def test_complement_single_cube(self):
+        comp = cover("a b").complement()
+        assert comp.equivalent(cover("a' + b'"))
+
+    def test_complement_multi_cube(self):
+        c = cover("a b + c")
+        comp = c.complement()
+        for a in (0, 1):
+            for b in (0, 1):
+                for cc in (0, 1):
+                    v = {"a": a, "b": b, "c": cc}
+                    assert c.evaluate(v) != comp.evaluate(v)
+
+    def test_complement_constants(self):
+        assert cover("0").complement().is_one()
+        assert cover("1").complement().is_zero()
+
+    def test_double_complement_equivalent(self):
+        c = cover("a b' + a' c + b c'")
+        assert c.complement().complement().equivalent(c)
+
+
+class TestAlgebra:
+    def test_plus(self):
+        assert cover("a").plus(cover("b")) == cover("a + b")
+
+    def test_times_cube(self):
+        assert cover("a + b").times_cube(Cube.from_string("c")) == \
+            cover("a c + b c")
+
+    def test_times_cube_orthogonal_drops(self):
+        assert cover("a + a'").times_cube(Cube.from_string("a")) == cover("a")
+
+    def test_times(self):
+        product = cover("a + b").times(cover("c + d"))
+        assert product == cover("a c + a d + b c + b d")
+
+    def test_common_cube(self):
+        assert cover("a b c + a b d").common_cube() == \
+            Cube.from_string("a b")
+
+    def test_is_cube_free(self):
+        assert cover("a + b").is_cube_free()
+        assert not cover("a b + a c").is_cube_free()
+
+    def test_make_cube_free(self):
+        assert cover("a b + a c").make_cube_free() == cover("b + c")
+
+    def test_rename(self):
+        assert cover("a b + c").rename({"a": "x", "c": "y"}) == \
+            cover("x b + y")
+
+    def test_restrict(self):
+        assert cover("a b + c").restrict(["a", "c"]) == cover("a + c")
+
+
+class TestPlumbing:
+    def test_hash_and_equality(self):
+        assert cover("a + b") == cover("b + a")
+        assert hash(cover("a + b")) == hash(cover("b + a"))
+
+    def test_to_string_roundtrip(self):
+        c = cover("a b' + c")
+        assert SopCover.from_string(c.to_string()) == c
+
+    def test_zero_to_string(self):
+        assert cover("0").to_string() == "0"
+
+    def test_iteration_sorted(self):
+        cubes = list(cover("b + a"))
+        assert cubes == sorted(cubes)

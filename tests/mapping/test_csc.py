@@ -1,0 +1,76 @@
+"""Tests for the CSC solver (the companion-[6] capability)."""
+
+import pytest
+
+from repro.errors import CscViolation
+from repro.mapping.csc import csc_conflicts, solve_csc
+from repro.mapping.decompose import MapperConfig, map_circuit
+from repro.sg.properties import check_speed_independence
+from repro.sg.reachability import state_graph_of
+from repro.stg.builders import marked_graph
+from repro.synthesis.library import GateLibrary
+from repro.verify import verify_implementation, weakly_bisimilar
+
+
+@pytest.fixture
+def bad_sequencer_sg():
+    """Fall-chained sequencer: the textbook CSC violation."""
+    arcs = [("r+", "ro1+"), ("ro1+", "ai1+"), ("ai1+", "ro1-"),
+            ("ro1-", "ai1-"), ("ai1-", "ro2+"), ("ro2+", "ai2+"),
+            ("ai2+", "ro2-"), ("ro2-", "ai2-"), ("ai2-", "a+"),
+            ("a+", "r-"), ("r-", "a-")]
+    stg = marked_graph("badseq", ["r", "ai1", "ai2"],
+                       ["a", "ro1", "ro2"], arcs, [("a-", "r+")])
+    return state_graph_of(stg)
+
+
+class TestConflictDetection:
+    def test_conflicts_found(self, bad_sequencer_sg):
+        conflicts = csc_conflicts(bad_sequencer_sg)
+        assert conflicts
+        for left, right in conflicts:
+            assert bad_sequencer_sg.code(left) == \
+                bad_sequencer_sg.code(right)
+
+    def test_clean_graph_has_none(self, celement_sg):
+        assert not csc_conflicts(celement_sg)
+
+
+class TestSolver:
+    def test_solves_sequencer(self, bad_sequencer_sg):
+        result = solve_csc(bad_sequencer_sg)
+        assert result.inserted_signals >= 1
+        assert not csc_conflicts(result.sg)
+        report = check_speed_independence(result.sg)
+        assert report.implementable, report.all_violations()[:2]
+
+    def test_steps_monotone(self, bad_sequencer_sg):
+        result = solve_csc(bad_sequencer_sg)
+        for step in result.steps:
+            assert step.conflicts_after < step.conflicts_before
+
+    def test_solution_conforms_to_spec(self, bad_sequencer_sg):
+        result = solve_csc(bad_sequencer_sg)
+        hidden = set(result.sg.signals) - set(bad_sequencer_sg.signals)
+        assert weakly_bisimilar(bad_sequencer_sg, result.sg, hidden)
+
+    def test_clean_graph_untouched(self, celement_sg):
+        result = solve_csc(celement_sg)
+        assert result.inserted_signals == 0
+        assert len(result.sg) == len(celement_sg)
+
+    def test_budget_enforced(self, bad_sequencer_sg):
+        with pytest.raises(CscViolation):
+            solve_csc(bad_sequencer_sg, max_signals=0)
+
+
+class TestMapperIntegration:
+    def test_mapper_solves_csc_when_asked(self, bad_sequencer_sg):
+        config = MapperConfig(solve_csc=True)
+        result = map_circuit(bad_sequencer_sg, GateLibrary(2), config)
+        assert result.success
+        verify_implementation(result.sg, result.implementations)
+
+    def test_mapper_rejects_without_flag(self, bad_sequencer_sg):
+        with pytest.raises(CscViolation):
+            map_circuit(bad_sequencer_sg, GateLibrary(2))

@@ -1,0 +1,104 @@
+"""E5/E6: the paper's running example (hazard.g, Figures 1 and 5).
+
+The reconstruction keeps the example's structure: two inputs (a, d)
+falling concurrently while an output (x) is high — producing the state
+diamond of §3.2 — and an output cover too wide for a 2-literal library
+that admits exactly the divisor analysis of §3.1:
+
+* several 2-literal divisors admit legal insertion sets;
+* the diamond-splitting function (the paper's ``a'd``) is rejected;
+* one inserted signal suffices for a 2-literal implementation
+  (Figure 5,b), verified speed-independent.
+"""
+
+import pytest
+
+from repro.bench_suite import benchmark
+from repro.boolean.divisors import generate_divisors
+from repro.boolean.sop import SopCover
+from repro.errors import InsertionError
+from repro.mapping.decompose import _units_of, map_circuit
+from repro.mapping.partition import compute_insertion_sets
+from repro.sg.reachability import state_graph_of
+from repro.sg.regions import excitation_regions, trigger_events
+from repro.synthesis.cover import synthesize_all
+from repro.synthesis.library import GateLibrary
+from repro.verify import verify_implementation, weakly_bisimilar
+
+
+@pytest.fixture(scope="module")
+def hazard_sg():
+    return state_graph_of(benchmark("hazard"))
+
+
+class TestFigure1:
+    def test_signals(self, hazard_sg):
+        assert hazard_sg.inputs == ("a", "d")
+        assert hazard_sg.outputs == ("c", "x")
+
+    def test_concurrency_diamond_exists(self, hazard_sg):
+        # a- and d- interleave while x is high: the §3.2 diamond.
+        diamonds = hazard_sg.diamonds()
+        assert any({d.event_a, d.event_b} == {"a-", "d-"}
+                   for d in diamonds)
+
+    def test_single_er_per_event(self, hazard_sg):
+        for event in ("c+", "c-", "x+", "x-"):
+            assert len(excitation_regions(hazard_sg, event)) == 1
+
+    def test_x_minus_triggers(self, hazard_sg):
+        (region,) = excitation_regions(hazard_sg, "x-")
+        assert trigger_events(hazard_sg, region) == {"a-", "d-"}
+
+
+class TestSection31:
+    def test_three_literal_cover_exists(self, hazard_sg):
+        units = _units_of(synthesize_all(hazard_sg))
+        assert max(u.complexity for u in units) == 3
+
+    def test_divisors_are_two_literal_subfunctions(self, hazard_sg):
+        units = _units_of(synthesize_all(hazard_sg))
+        target = max(units, key=lambda u: u.complexity)
+        divisors = generate_divisors(target.chosen)
+        assert len(divisors) == 3
+        assert all(d.literal_count() == 2 for d in divisors)
+
+
+class TestSection32:
+    def test_some_divisors_insertable(self, hazard_sg):
+        units = _units_of(synthesize_all(hazard_sg))
+        target = max(units, key=lambda u: u.complexity)
+        legal = 0
+        for function in generate_divisors(target.chosen):
+            try:
+                compute_insertion_sets(hazard_sg, function)
+                legal += 1
+            except InsertionError:
+                pass
+        assert legal >= 2  # the paper finds 2 of 3 usable
+
+    def test_diamond_splitting_function_rejected(self, hazard_sg):
+        # The analogue of the paper's illegal a'd: true on exactly one
+        # interleaving of the a-/d- diamond.
+        with pytest.raises(InsertionError):
+            compute_insertion_sets(hazard_sg,
+                                   SopCover.from_string("a' d c'"))
+
+
+class TestFigure5:
+    def test_two_literal_mapping(self, hazard_sg):
+        result = map_circuit(hazard_sg, GateLibrary(2))
+        assert result.success
+        assert result.inserted_signals == 1
+        assert result.netlist.stats().max_complexity <= 2
+
+    def test_mapped_verifies_and_conforms(self, hazard_sg):
+        result = map_circuit(hazard_sg, GateLibrary(2))
+        verify_implementation(result.sg, result.implementations)
+        hidden = set(result.sg.signals) - set(hazard_sg.signals)
+        assert weakly_bisimilar(hazard_sg, result.sg, hidden)
+
+    def test_three_literal_library_needs_nothing(self, hazard_sg):
+        result = map_circuit(hazard_sg, GateLibrary(3))
+        assert result.success
+        assert result.inserted_signals == 0

@@ -1,0 +1,84 @@
+"""Property-based tests for the insertion machinery.
+
+For random 2-literal seed functions over random valid fork/join STGs:
+
+* every successfully computed I-partition satisfies the crossing rules
+  and covers the state set;
+* every successful insertion yields a fully implementable SG that is
+  weakly bisimilar to the original with the new signal hidden;
+* the inserted signal's complete cover exists (it is implementable).
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean.cube import Cube
+from repro.boolean.sop import SopCover
+from repro.errors import CoverError, CscViolation, InsertionError
+from repro.mapping.insertion import insert_signal
+from repro.mapping.partition import compute_insertion_sets
+from repro.sg.properties import check_speed_independence
+from repro.sg.reachability import state_graph_of
+from repro.stg.builders import marked_graph
+from repro.synthesis.cover import synthesize_all
+from repro.verify.conformance import weakly_bisimilar
+
+
+@st.composite
+def small_sgs(draw):
+    """Fork/join STGs with 2 or 3 concurrent output branches."""
+    branches = draw(st.integers(min_value=2, max_value=3))
+    signals = [f"s{i}" for i in range(branches)]
+    arcs = []
+    for s in signals:
+        arcs += [("t+", f"{s}+"), (f"{s}+", "a+"), ("a+", "t-"),
+                 ("t-", f"{s}-"), (f"{s}-", "a-")]
+    stg = marked_graph("rnd", [], ["t", "a"] + signals, arcs,
+                       [("a-", "t+")])
+    return state_graph_of(stg)
+
+
+@st.composite
+def seed_functions(draw, sg=None):
+    names = ["t", "a", "s0", "s1"]
+    left = draw(st.sampled_from(names))
+    right = draw(st.sampled_from([n for n in names if n != left]))
+    pol_left = draw(st.integers(0, 1))
+    pol_right = draw(st.integers(0, 1))
+    return SopCover([Cube({left: pol_left, right: pol_right})])
+
+
+class TestInsertionProperties:
+    @given(small_sgs(), seed_functions())
+    @settings(max_examples=40, deadline=None)
+    def test_partitions_cover_and_respect_crossings(self, sg, function):
+        try:
+            partition = compute_insertion_sets(sg, function)
+        except InsertionError:
+            return
+        blocks = (set(partition.er_plus) | set(partition.er_minus)
+                  | set(partition.s1) | set(partition.s0))
+        assert blocks == set(sg.states)
+        assert not (set(partition.er_plus) & set(partition.er_minus))
+        order = {"S0", "S+", "S1", "S-"}
+        for state in sg.states:
+            assert partition.block_of(state) in order
+
+    @given(small_sgs(), seed_functions())
+    @settings(max_examples=30, deadline=None)
+    def test_insertions_preserve_everything(self, sg, function):
+        try:
+            partition = compute_insertion_sets(sg, function)
+            new_sg = insert_signal(sg, partition, "zz")
+        except InsertionError:
+            return
+        report = check_speed_independence(new_sg)
+        assert report.implementable, report.all_violations()[:2]
+        assert weakly_bisimilar(sg, new_sg, {"zz"})
+        try:
+            implementations = synthesize_all(new_sg)
+        except (CoverError, CscViolation):
+            return
+        assert "zz" in implementations

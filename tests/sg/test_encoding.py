@@ -1,0 +1,66 @@
+"""Unit tests for :mod:`repro.sg.encoding`."""
+
+import pytest
+
+from repro._util import FrozenVector
+from repro.errors import CscViolation
+from repro.sg.encoding import (code_partition, excited_value_states,
+                               next_state_sets, next_value, vectors_of)
+from repro.sg.graph import StateGraph
+
+
+def vec(**kwargs):
+    return FrozenVector(kwargs)
+
+
+class TestNextValue:
+    def test_stable_states(self, celement_sg):
+        for state in celement_sg.states:
+            code = celement_sg.code(state)
+            implied = next_value(celement_sg, state, "c")
+            if celement_sg.is_excited(state, "c"):
+                assert implied == 1 - code["c"]
+            else:
+                assert implied == code["c"]
+
+    def test_next_state_sets_partition(self, celement_sg):
+        on, off = next_state_sets(celement_sg, "c")
+        assert not (set(on) & set(off))
+        assert len(on) + len(off) == len(
+            {celement_sg.code(s) for s in celement_sg.states})
+
+    def test_csc_violation_detected(self):
+        sg = StateGraph("bad", [], ["a", "b"])
+        sg.add_state(0, vec(a=0, b=0))
+        sg.add_state(1, vec(a=1, b=0))
+        sg.add_state(2, vec(a=0, b=0))  # same code, different future
+        sg.add_state(3, vec(a=0, b=1))
+        sg.add_arc(0, "a+", 1)
+        sg.add_arc(1, "a-", 2)
+        sg.add_arc(2, "b+", 3)
+        sg.add_arc(3, "b-", 0)
+        sg.set_initial(0)
+        # state 0 implies a rises (next=1); state 2 implies a stays 0.
+        with pytest.raises(CscViolation):
+            next_state_sets(sg, "a")
+
+
+class TestHelpers:
+    def test_vectors_of_deduplicates(self, two_er_sg):
+        all_vectors = vectors_of(two_er_sg, two_er_sg.states)
+        assert len(all_vectors) == len(set(all_vectors))
+        assert len(all_vectors) <= len(two_er_sg)
+
+    def test_code_partition_covers_states(self, two_er_sg):
+        partition = code_partition(two_er_sg)
+        total = sum(len(states) for states in partition.values())
+        assert total == len(two_er_sg)
+        # two_er has code-sharing states by construction
+        assert any(len(states) > 1 for states in partition.values())
+
+    def test_excited_value_states(self, celement_sg):
+        rising = excited_value_states(celement_sg, "c", "+")
+        assert len(rising) == 1
+        (state,) = rising
+        assert celement_sg.code(state).as_dict() == {
+            "a": 1, "b": 1, "c": 0}

@@ -1,0 +1,104 @@
+"""Unit tests for STG → state-graph reachability and encoding."""
+
+import pytest
+
+from repro.errors import ConsistencyError
+from repro.sg.reachability import state_graph_of
+from repro.stg.parser import parse_g
+
+
+class TestCElement(object):
+    def test_state_count(self, celement_sg):
+        # C element: 2 concurrent inputs + 1 output; the classic SG has
+        # 4 rising-phase states + 4 falling-phase states.
+        assert len(celement_sg) == 8
+
+    def test_initial_code_inferred(self, celement_sg):
+        code = celement_sg.code(celement_sg.initial)
+        assert code.as_dict() == {"a": 0, "b": 0, "c": 0}
+
+    def test_arcs_flip_exactly_one_signal(self, celement_sg):
+        for state in celement_sg.states:
+            before = celement_sg.code(state)
+            for event, target in celement_sg.successors(state):
+                after = celement_sg.code(target)
+                differing = [s for s in celement_sg.signals
+                             if before[s] != after[s]]
+                assert differing == [event[:-1]]
+
+    def test_signal_partition_carried_over(self, celement_sg):
+        assert celement_sg.inputs == ("a", "b")
+        assert celement_sg.outputs == ("c",)
+
+    def test_initial_state_is_initial_marking(self, celement_stg,
+                                              celement_sg):
+        assert celement_sg.initial == celement_stg.net.initial_marking
+
+
+class TestConsistencyInference:
+    def test_inconsistent_stg_rejected(self):
+        # b rises twice with no fall in between.
+        text = """
+.model bad
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b+/2
+b+/2 a+
+.marking { <b+/2,a+> }
+.end
+"""
+        with pytest.raises(ConsistencyError):
+            state_graph_of(parse_g(text))
+
+    def test_initial_value_conflict_rejected(self):
+        # A choice place enables both a+ and a- in the very same
+        # marking: the rising edge implies a=0 initially, the falling
+        # edge a=1.
+        text = """
+.model conflict
+.outputs a
+.graph
+p0 a+
+p0 a-
+a+ p1
+a- p1
+p1 a+/2
+a+/2 p0
+.marking { p0 }
+.end
+"""
+        with pytest.raises(ConsistencyError):
+            state_graph_of(parse_g(text))
+
+    def test_state_limit(self, celement_stg):
+        with pytest.raises(ConsistencyError):
+            state_graph_of(celement_stg, max_states=3)
+
+    def test_multiple_instances_consistent(self, two_er_sg):
+        # x fires twice per cycle through distinct transitions; the
+        # labelling must still alternate.
+        assert len(two_er_sg) == 8
+
+
+class TestUnsafeNets:
+    def test_unsafe_net_detected(self):
+        from repro.errors import PetriNetError
+        text = """
+.model unsafe
+.outputs a b
+.graph
+a+ b+
+a+ b-
+b+ a-
+b- a-
+a- a+
+.marking { <a-,a+> }
+.end
+"""
+        # firing a+ puts tokens toward both b+ and b-; b+ then b- puts
+        # two tokens on the place before a- ... the net is not 1-safe.
+        with pytest.raises((PetriNetError, ConsistencyError)):
+            state_graph_of(parse_g(text))

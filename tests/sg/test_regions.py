@@ -1,0 +1,94 @@
+"""Unit tests for excitation/switching/quiescent regions and triggers."""
+
+import pytest
+
+from repro.sg.regions import (all_excitation_regions, excitation_regions,
+                              quiescent_region, quiescent_regions_by_event,
+                              switching_region, trigger_events,
+                              trigger_signals)
+
+
+class TestExcitationRegions:
+    def test_celement_single_er(self, celement_sg):
+        regions = excitation_regions(celement_sg, "c+")
+        assert len(regions) == 1
+        (region,) = regions
+        assert region.index == 1
+        assert region.event == "c+"
+        assert region.signal == "c"
+        # c+ is excited exactly when a=b=1, c=0: one state.
+        assert len(region) == 1
+        (state,) = region.states
+        assert celement_sg.code(state).as_dict() == {"a": 1, "b": 1, "c": 0}
+
+    def test_input_regions_exist(self, celement_sg):
+        # a+ is excited from the initial state until it fires; since b+
+        # is concurrent, the ER spans 2 states (b=0 and b=1).
+        regions = excitation_regions(celement_sg, "a+")
+        assert len(regions) == 1
+        assert len(regions[0]) == 2
+
+    def test_two_separated_regions(self, two_er_sg):
+        regions = excitation_regions(two_er_sg, "x+")
+        assert len(regions) == 2
+        assert {r.index for r in regions} == {1, 2}
+        assert all(len(r) == 1 for r in regions)
+
+    def test_region_indices_stable(self, two_er_sg):
+        first = excitation_regions(two_er_sg, "x+")
+        second = excitation_regions(two_er_sg, "x+")
+        assert [sorted(map(repr, r.states)) for r in first] == \
+            [sorted(map(repr, r.states)) for r in second]
+
+    def test_all_excitation_regions_outputs_only(self, celement_sg):
+        regions = all_excitation_regions(celement_sg)
+        assert {r.event for r in regions} == {"c+", "c-"}
+
+    def test_membership_protocol(self, celement_sg):
+        (region,) = excitation_regions(celement_sg, "c+")
+        (state,) = region.states
+        assert state in region
+
+
+class TestSwitchingRegion:
+    def test_celement_sr(self, celement_sg):
+        (region,) = excitation_regions(celement_sg, "c+")
+        sr = switching_region(celement_sg, region)
+        assert len(sr) == 1
+        (state,) = sr
+        assert celement_sg.code(state).as_dict() == {"a": 1, "b": 1, "c": 1}
+
+
+class TestQuiescentRegion:
+    def test_celement_qr(self, celement_sg):
+        regions = excitation_regions(celement_sg, "c+")
+        qr = quiescent_region(celement_sg, regions[0], regions)
+        # After c+ fires, c stays 1 while a and b fall; c- becomes
+        # excited only when a=b=0.  QR = {111, 011, 101} minus states
+        # where c- is excited.
+        codes = {celement_sg.code(s).bits(["a", "b", "c"]) for s in qr}
+        assert codes == {"111", "011", "101"}
+
+    def test_restricted_qr_disjoint(self, two_er_sg):
+        pairs = quiescent_regions_by_event(two_er_sg, "x+")
+        (r1, q1), (r2, q2) = pairs
+        assert not (q1 & q2)
+
+    def test_qr_excludes_excited_states(self, celement_sg):
+        regions = excitation_regions(celement_sg, "c+")
+        qr = quiescent_region(celement_sg, regions[0], regions)
+        for state in qr:
+            assert not celement_sg.is_excited(state, "c")
+
+
+class TestTriggers:
+    def test_celement_triggers(self, celement_sg):
+        (region,) = excitation_regions(celement_sg, "c+")
+        events = trigger_events(celement_sg, region)
+        assert events == {"a+", "b+"}
+
+    def test_trigger_signals(self, celement_sg):
+        assert trigger_signals(celement_sg, "c") == {"a", "b"}
+
+    def test_trigger_signals_two_er(self, two_er_sg):
+        assert trigger_signals(two_er_sg, "x") == {"a", "b"}

@@ -1,0 +1,119 @@
+"""Unit tests for structural Petri-net / STG analysis."""
+
+import pytest
+
+from repro.errors import StgError
+from repro.stg.analysis import (auto_concurrent_signals,
+                                cycle_token_counts, directed_cycles,
+                                is_free_choice, is_marked_graph,
+                                is_state_machine,
+                                marked_graph_live_and_safe,
+                                structural_report)
+from repro.stg.builders import marked_graph, parallelizer_stg
+from repro.stg.parser import parse_g
+from repro.stg.petri import PetriNet
+
+
+@pytest.fixture
+def toggle():
+    """a+ -> a- -> a+ cycle with one token."""
+    return marked_graph("toggle", [], ["a"], [("a+", "a-")],
+                        [("a-", "a+")])
+
+
+class TestClassPredicates:
+    def test_marked_graph(self, toggle):
+        assert is_marked_graph(toggle.net)
+
+    def test_choice_place_is_not_mg(self):
+        net = PetriNet()
+        net.add_place("p", marked=True)
+        net.add_place("q")
+        net.add_transition("t1")
+        net.add_transition("t2")
+        net.add_arc("p", "t1")
+        net.add_arc("p", "t2")
+        net.add_arc("t1", "q")
+        net.add_arc("t2", "q")
+        assert not is_marked_graph(net)
+        assert is_state_machine(net)
+        assert is_free_choice(net)
+
+    def test_non_free_choice(self):
+        net = PetriNet()
+        net.add_place("p", marked=True)
+        net.add_place("q", marked=True)
+        for t in ("t1", "t2"):
+            net.add_transition(t)
+        net.add_arc("p", "t1")
+        net.add_arc("p", "t2")
+        net.add_arc("q", "t2")  # t1, t2 share p but not q
+        assert not is_free_choice(net)
+
+    def test_parallelizer_is_mg(self):
+        assert is_marked_graph(parallelizer_stg().net)
+
+
+class TestCycles:
+    def test_toggle_cycle(self, toggle):
+        cycles = directed_cycles(toggle.net)
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {"a+", "a-"}
+
+    def test_cycle_tokens(self, toggle):
+        (cycle, tokens), = cycle_token_counts(toggle.net)
+        assert tokens == 1
+
+    def test_non_mg_rejected(self):
+        net = PetriNet()
+        net.add_place("p", marked=True)
+        net.add_transition("t1")
+        net.add_transition("t2")
+        net.add_arc("p", "t1")
+        net.add_arc("p", "t2")
+        with pytest.raises(StgError):
+            directed_cycles(net)
+
+    def test_parallelizer_cycles_all_single_token(self):
+        stg = parallelizer_stg()
+        assert not marked_graph_live_and_safe(stg.net)
+
+
+class TestLiveness:
+    def test_tokenless_cycle_detected(self):
+        # the a/b cycle carries no token; a separate marked c cycle
+        # keeps the STG constructible.
+        stg = marked_graph("dead", [], ["a", "b", "c"],
+                           [("a+", "b+"), ("b+", "a-"), ("a-", "b-"),
+                            ("b-", "a+"), ("c+", "c-")],
+                           [("c-", "c+")])
+        problems = marked_graph_live_and_safe(stg.net)
+        assert problems and "no token" in problems[0]
+
+    def test_double_token_detected(self):
+        stg = marked_graph("unsafe2", [], ["a"], [],
+                           [("a+", "a-"), ("a-", "a+")])
+        problems = marked_graph_live_and_safe(stg.net)
+        assert problems and "2 tokens" in problems[0]
+
+
+class TestAutoConcurrency:
+    def test_clean_stg(self):
+        stg = parallelizer_stg()
+        assert auto_concurrent_signals(stg) == []
+
+    def test_concurrent_same_signal(self):
+        # two x cycles on disjoint cycles -> auto-concurrency
+        stg = marked_graph(
+            "autoconc", [], ["x", "y"],
+            [("x+", "x-"), ("x+/2", "x-/2"), ("y+", "y-")],
+            [("x-", "x+"), ("x-/2", "x+/2"), ("y-", "y+")])
+        assert "x" in auto_concurrent_signals(stg)
+
+
+class TestReport:
+    def test_report_keys(self, toggle):
+        report = structural_report(toggle)
+        assert report["marked_graph"] is True
+        assert report["liveness_problems"] == []
+        assert report["transitions"] == 2

@@ -1,0 +1,79 @@
+"""Unit tests for the STG construction helpers."""
+
+import pytest
+
+from repro.errors import StgError
+from repro.sg.properties import check_speed_independence
+from repro.sg.reachability import state_graph_of
+from repro.stg.builders import (cycle, marked_graph, parallelizer_stg,
+                                pipeline_stg, sequencer_stg)
+
+
+class TestCycle:
+    def test_simple_cycle(self):
+        stg = cycle("ring", ["a"], ["b"], ["a+", "b+", "a-", "b-"])
+        sg = state_graph_of(stg)
+        assert len(sg) == 4
+        assert check_speed_independence(sg).implementable
+
+    def test_too_short(self):
+        with pytest.raises(StgError):
+            cycle("bad", [], ["a"], ["a+"])
+
+
+class TestMarkedGraph:
+    def test_diamond(self):
+        stg = marked_graph(
+            "diamond", [], ["a", "b"],
+            [("a+", "a-"), ("b+", "b-")],
+            [("a-", "a+"), ("b-", "b+")])
+        sg = state_graph_of(stg)
+        assert len(sg) == 4  # two independent toggles
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("stages", [1, 2, 3])
+    def test_valid(self, stages):
+        sg = state_graph_of(pipeline_stg(stages))
+        assert check_speed_independence(sg).implementable
+
+    def test_signals(self):
+        stg = pipeline_stg(2)
+        assert stg.inputs == ("ai", "ri")
+        assert set(stg.outputs) >= {"ao", "ro"}
+        assert stg.internal == ("c0", "c1")
+
+    def test_state_count_growth(self):
+        sizes = [len(state_graph_of(pipeline_stg(n))) for n in (1, 2, 3)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_bad_stage_count(self):
+        with pytest.raises(StgError):
+            pipeline_stg(0)
+
+
+class TestParallelizer:
+    def test_valid(self):
+        sg = state_graph_of(parallelizer_stg())
+        assert check_speed_independence(sg).implementable
+        assert len(sg) == 20
+
+    def test_concurrency_present(self):
+        sg = state_graph_of(parallelizer_stg())
+        assert sg.diamonds()
+
+
+class TestSequencer:
+    @pytest.mark.parametrize("branches", [2, 3, 4])
+    def test_valid(self, branches):
+        sg = state_graph_of(sequencer_stg(branches))
+        report = check_speed_independence(sg)
+        assert report.implementable, report.all_violations()[:2]
+
+    def test_done_signals_give_csc(self):
+        stg = sequencer_stg(3)
+        assert stg.internal == ("d1", "d2", "d3")
+
+    def test_bad_branch_count(self):
+        with pytest.raises(StgError):
+            sequencer_stg(1)

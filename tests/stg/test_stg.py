@@ -1,0 +1,217 @@
+"""Unit tests for :mod:`repro.stg.stg` and the parser/writer pair."""
+
+import pytest
+
+from repro.errors import ParseError, StgError
+from repro.stg.parser import parse_g
+from repro.stg.stg import SignalTransition, Stg
+from repro.stg.writer import write_g
+
+
+class TestSignalTransition:
+    def test_parse_simple(self):
+        t = SignalTransition.parse("a+")
+        assert (t.signal, t.direction, t.index) == ("a", "+", 1)
+        assert t.rising
+
+    def test_parse_indexed(self):
+        t = SignalTransition.parse("req-/2")
+        assert (t.signal, t.direction, t.index) == ("req", "-", 2)
+        assert not t.rising
+
+    def test_str_roundtrip(self):
+        for text in ("a+", "b-", "req+/3"):
+            assert str(SignalTransition.parse(text)) == text
+
+    def test_event_drops_index(self):
+        assert SignalTransition.parse("a-/2").event == "a-"
+
+    def test_bad_labels(self):
+        for bad in ("a", "+", "a*", "a+/0"):
+            with pytest.raises((StgError, ValueError)):
+                SignalTransition.parse(bad)
+
+    def test_ordering_deterministic(self):
+        labels = [SignalTransition.parse(t)
+                  for t in ("b+", "a-", "a+", "a+/2")]
+        assert sorted(labels) == [
+            SignalTransition.parse("a+"), SignalTransition.parse("a+/2"),
+            SignalTransition.parse("a-"), SignalTransition.parse("b+")]
+
+
+class TestStg:
+    def test_signal_partition(self):
+        stg = Stg("t")
+        stg.add_input("a")
+        stg.add_output("b")
+        stg.add_internal("c")
+        assert stg.inputs == ("a",)
+        assert stg.outputs == ("b", "c")
+        assert stg.internal == ("c",)
+        assert stg.is_input("a") and not stg.is_input("b")
+
+    def test_duplicate_signal_rejected(self):
+        stg = Stg("t")
+        stg.add_input("a")
+        with pytest.raises(StgError):
+            stg.add_output("a")
+
+    def test_transition_requires_declared_signal(self):
+        stg = Stg("t")
+        with pytest.raises(StgError):
+            stg.add_transition("a+")
+
+    def test_connect_builds_implicit_place(self):
+        stg = Stg("t")
+        stg.add_output("a")
+        stg.add_output("b")
+        place = stg.connect("a+", "b+")
+        assert stg.net.place_preset(place) == frozenset({"a+"})
+        assert stg.net.place_postset(place) == frozenset({"b+"})
+
+    def test_validate_requires_marking(self):
+        stg = Stg("t")
+        stg.add_output("a")
+        stg.connect("a+", "a-")
+        with pytest.raises(StgError):
+            stg.validate()  # no token anywhere
+
+    def test_validate_ok(self):
+        stg = Stg("t")
+        stg.add_output("a")
+        stg.connect("a+", "a-")
+        stg.connect("a-", "a+", marked=True)
+        stg.validate()
+
+    def test_copy_independent(self):
+        stg = Stg("t")
+        stg.add_output("a")
+        stg.connect("a+", "a-")
+        stg.connect("a-", "a+", marked=True)
+        clone = stg.copy("u")
+        clone.add_output("b")
+        assert "b" not in stg.signals
+
+
+SIMPLE_G = """
+.model celement
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a-
+c+ b-
+a- c-
+b- c-
+c- a+
+c- b+
+.marking { <c-,a+> <c-,b+> }
+.end
+"""
+
+
+class TestParser:
+    def test_parse_celement(self):
+        stg = parse_g(SIMPLE_G)
+        assert stg.name == "celement"
+        assert stg.inputs == ("a", "b")
+        assert stg.outputs == ("c",)
+        assert len(stg.transitions) == 6
+        assert len(stg.net.initial_marking) == 2
+
+    def test_comments_and_blank_lines(self):
+        text = SIMPLE_G.replace(".graph", "# hello\n\n.graph")
+        assert parse_g(text).name == "celement"
+
+    def test_missing_end(self):
+        with pytest.raises(ParseError):
+            parse_g(SIMPLE_G.replace(".end", ""))
+
+    def test_undeclared_signal(self):
+        with pytest.raises(ParseError):
+            parse_g(SIMPLE_G.replace("a+ c+", "z+ c+"))
+
+    def test_no_outputs(self):
+        bad = SIMPLE_G.replace(".outputs c", "").replace("c+", "a+/9")
+        with pytest.raises(ParseError):
+            parse_g(bad)
+
+    def test_explicit_places(self):
+        text = """
+.model explicit
+.outputs a
+.graph
+a+ p0
+p0 a-
+a- p1
+p1 a+
+.marking { p1 }
+.end
+"""
+        stg = parse_g(text)
+        assert "p0" in stg.net.places
+        assert stg.net.initial_marking == frozenset({"p1"})
+
+    def test_marking_unknown_place(self):
+        with pytest.raises(ParseError):
+            parse_g(SIMPLE_G.replace("<c-,a+>", "<a-,b->"))
+
+    def test_indexed_transitions(self):
+        text = """
+.model idx
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b+/2
+b+/2 a+
+.marking { <b+/2,a+> }
+.end
+"""
+        # b+ twice without b- in between is inconsistent, but parsing
+        # must succeed; consistency is checked at SG construction.
+        stg = parse_g(text)
+        assert len(stg.transitions_of("b")) == 2
+
+    def test_dummy_rejected(self):
+        with pytest.raises(ParseError):
+            parse_g(".model x\n.dummy d\n.graph\n.marking { }\n.end")
+
+
+class TestWriter:
+    def test_roundtrip(self):
+        stg = parse_g(SIMPLE_G)
+        text = write_g(stg)
+        again = parse_g(text)
+        assert again.inputs == stg.inputs
+        assert again.outputs == stg.outputs
+        assert len(again.transitions) == len(stg.transitions)
+        assert len(again.net.initial_marking) == \
+            len(stg.net.initial_marking)
+
+    def test_roundtrip_preserves_behaviour(self):
+        from repro.sg.reachability import state_graph_of
+        stg = parse_g(SIMPLE_G)
+        sg1 = state_graph_of(stg)
+        sg2 = state_graph_of(parse_g(write_g(stg)))
+        assert len(sg1) == len(sg2)
+
+    def test_explicit_place_roundtrip(self):
+        text = """
+.model explicit
+.outputs a b
+.graph
+a+ p0
+b+ p0
+p0 a-
+a- b+
+a- a+
+b+ a+
+.marking { p0 }
+.end
+"""
+        # p0 is a merge place and must survive as an explicit place.
+        stg = parse_g(text)
+        assert "p0" in write_g(stg)

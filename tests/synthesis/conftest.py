@@ -1,0 +1,58 @@
+"""Shared fixtures: small reference STGs and their state graphs."""
+
+import pytest
+
+from repro.stg.parser import parse_g
+from repro.sg.reachability import state_graph_of
+
+CELEMENT_G = """
+.model celement
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a-
+c+ b-
+a- c-
+b- c-
+c- a+
+c- b+
+.marking { <c-,a+> <c-,b+> }
+.end
+"""
+
+# Two alternating handshakes sharing one output: x toggles between the
+# a-handshake and the b-handshake.  Gives an event (x+) with two
+# separated excitation regions.
+TWO_ER_G = """
+.model twoer
+.inputs a b
+.outputs x
+.graph
+a+ x+
+x+ a-
+a- x-
+x- b+
+b+ x+/2
+x+/2 b-
+b- x-/2
+x-/2 a+
+.marking { <x-/2,a+> }
+.end
+"""
+
+
+@pytest.fixture
+def celement_stg():
+    return parse_g(CELEMENT_G)
+
+
+@pytest.fixture
+def celement_sg(celement_stg):
+    return state_graph_of(celement_stg)
+
+
+@pytest.fixture
+def two_er_sg():
+    return state_graph_of(parse_g(TWO_ER_G))

@@ -1,0 +1,79 @@
+"""Unit tests for netlist export (Verilog / .eqn / OR-join expansion)."""
+
+import pytest
+
+from repro.boolean.cube import Cube
+from repro.boolean.sop import SopCover
+from repro.synthesis.cover import synthesize_all
+from repro.synthesis.export import (expand_or_joins, to_eqn, to_verilog,
+                                    _verilog_expr)
+from repro.synthesis.netlist import Netlist, NetlistGate
+
+
+@pytest.fixture
+def celement_netlist(celement_sg):
+    return Netlist("celement", synthesize_all(celement_sg))
+
+
+class TestExpandOrJoins:
+    def _wide_join(self, width):
+        cover = SopCover([Cube({f"n{i}": 1}) for i in range(width)])
+        return NetlistGate("g_j", "j", cover, width, "or-join")
+
+    def test_narrow_join_untouched(self, celement_netlist):
+        gates = expand_or_joins(celement_netlist)
+        assert len(gates) == len(celement_netlist.gates)
+
+    def test_wide_join_split(self, celement_netlist):
+        celement_netlist.gates.append(self._wide_join(5))
+        gates = expand_or_joins(celement_netlist, max_fanin=2)
+        joins = [g for g in gates if g.role == "or-join"]
+        assert all(len(g.fanin) <= 2 for g in joins)
+        # 5 leaves need 4 two-input OR gates.
+        assert len(joins) == 4
+
+    def test_split_preserves_function(self, celement_netlist):
+        celement_netlist.gates.append(self._wide_join(5))
+        gates = expand_or_joins(celement_netlist, max_fanin=2)
+        values = {f"n{i}": i == 3 for i in range(5)}
+        nets = dict(values)
+        for gate in gates:
+            if gate.role != "or-join":
+                continue
+            nets[gate.output] = any(nets[name] for name in gate.fanin)
+        assert nets["j"] is True
+
+
+class TestVerilog:
+    def test_module_structure(self, celement_netlist):
+        text = to_verilog(celement_netlist, ("a", "b"), ("c",))
+        assert "module celement (" in text
+        assert "input  wire a," in text
+        assert "output wire c" in text
+        assert "endmodule" in text
+
+    def test_c_element_modelled(self, celement_netlist):
+        text = to_verilog(celement_netlist, ("a", "b"), ("c",))
+        assert "Muller C element for c" in text
+        assert "if (set_c_1) c_state = 1'b1;" in text
+        assert "else if (reset_c_1) c_state = 1'b0;" in text
+
+    def test_expression_rendering(self):
+        assert _verilog_expr(SopCover.from_string("a b'")) == "a & ~b"
+        assert _verilog_expr(SopCover.from_string("a + b")) == "a | b"
+        assert _verilog_expr(SopCover.from_string("a b + c")) == \
+            "(a & b) | c"
+        assert _verilog_expr(SopCover.zero()) == "1'b0"
+
+    def test_hyphenated_names_sanitized(self, celement_netlist):
+        celement_netlist.name = "my-circuit"
+        text = to_verilog(celement_netlist, ("a", "b"), ("c",))
+        assert "module my_circuit (" in text
+
+
+class TestEqn:
+    def test_equations(self, celement_netlist):
+        text = to_eqn(celement_netlist)
+        assert "set_c_1 = a*b;" in text
+        assert "reset_c_1 = !a*!b;" in text
+        assert "c = C(set_c_1, reset_c_1);" in text

@@ -1,0 +1,98 @@
+"""Tests for the ``si-mapper`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+CELEMENT = """
+.model celement
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a-
+c+ b-
+a- c-
+b- c-
+c- a+
+c- b+
+.marking { <c-,a+> <c-,b+> }
+.end
+"""
+
+
+@pytest.fixture
+def g_file(tmp_path):
+    path = tmp_path / "celement.g"
+    path.write_text(CELEMENT)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_map_defaults(self, g_file):
+        args = build_parser().parse_args(["map", g_file])
+        assert args.literals == 2
+        assert args.verify
+
+
+class TestCommands:
+    def test_map(self, g_file, capsys):
+        assert main(["map", g_file, "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "celement" in out
+        assert "C(set_c_1, reset_c_1)" in out
+        assert "verification: OK" in out
+
+    def test_map_writes_dot(self, g_file, tmp_path, capsys):
+        dot = str(tmp_path / "sg.dot")
+        assert main(["map", g_file, "--dot", dot]) == 0
+        assert "digraph" in open(dot).read()
+
+    def test_check_ok(self, g_file, capsys):
+        assert main(["check", g_file]) == 0
+        assert "implementable" in capsys.readouterr().out
+
+    def test_check_violations(self, tmp_path, capsys):
+        bad = tmp_path / "bad.g"
+        bad.write_text("""
+.model bad
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b+/2
+b+/2 a+
+.marking { <b+/2,a+> }
+.end
+""")
+        assert main(["check", str(bad)]) == 2  # consistency error
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_list(self, capsys):
+        assert main(["bench-list"]) == 0
+        out = capsys.readouterr().out
+        assert "vbe10b" in out and "wrdatab" in out
+
+    def test_show(self, capsys):
+        assert main(["show", "half"]) == 0
+        out = capsys.readouterr().out
+        assert ".model half" in out
+        assert ".end" in out
+
+    def test_show_unknown(self, capsys):
+        with pytest.raises(KeyError):
+            main(["show", "zzz"])
+
+    def test_report_subset(self, capsys):
+        assert main(["report", "half", "-k", "2", "--no-siegel"]) == 0
+        out = capsys.readouterr().out
+        assert "half" in out
+
+    def test_map_local_ack_flag(self, g_file, capsys):
+        assert main(["map", g_file, "--local-ack"]) == 0

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 600) -> str:
+    script = EXAMPLES / name
+    assert script.exists(), f"missing example {name}"
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "verified: speed-independent" in out
+
+
+def test_hazard_walkthrough():
+    out = run_example("hazard_walkthrough.py")
+    assert "REJECTED" in out           # the illegal-diamond case
+    assert "insertable" in out
+    assert "speed-independence verified" in out
+
+
+def test_custom_library():
+    out = run_example("custom_library.py")
+    assert "i = 2:" in out and "i = 4:" in out
+
+
+@pytest.mark.slow
+def test_vbe10b_decomposition():
+    out = run_example("vbe10b_decomposition.py", timeout=1800)
+    assert "before decomposition" in out
+    assert "global acknowledgment" in out

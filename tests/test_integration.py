@@ -1,0 +1,129 @@
+"""End-to-end integration and property-based pipeline tests.
+
+Random valid marked-graph STGs are generated with hypothesis and pushed
+through the whole pipeline; the invariants checked are the theory's
+global guarantees, not implementation details:
+
+* reachability always yields a consistent encoding or raises;
+* synthesized implementations always pass the independent gate-level
+  verifier;
+* mapping results always fit the library and stay weakly bisimilar to
+  the specification.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench_suite import benchmark
+from repro.errors import ReproError
+from repro.mapping.decompose import map_circuit
+from repro.sg.properties import check_speed_independence
+from repro.sg.reachability import state_graph_of
+from repro.stg.builders import cycle, marked_graph
+from repro.synthesis.cover import synthesize_all
+from repro.synthesis.library import GateLibrary
+from repro.verify import verify_implementation, weakly_bisimilar
+
+
+# ----------------------------------------------------------------------
+# Random valid STGs: rings of single-transition signals with optional
+# concurrent sections (fork/join of two sub-chains).
+# ----------------------------------------------------------------------
+
+@st.composite
+def ring_stgs(draw):
+    n_signals = draw(st.integers(min_value=2, max_value=5))
+    signals = [f"s{i}" for i in range(n_signals)]
+    n_inputs = draw(st.integers(min_value=0, max_value=n_signals - 1))
+    inputs = signals[:n_inputs]
+    outputs = signals[n_inputs:]
+    events = [s + "+" for s in signals] + [s + "-" for s in signals]
+    return cycle("random-ring", inputs, outputs, events)
+
+
+@st.composite
+def fork_join_stgs(draw):
+    left = draw(st.integers(min_value=1, max_value=2))
+    right = draw(st.integers(min_value=1, max_value=2))
+    lsigs = [f"l{i}" for i in range(left)]
+    rsigs = [f"r{i}" for i in range(right)]
+    arcs = []
+    # fork: t+ starts both chains; join: a+ waits for both ends.
+    previous = "t+"
+    for s in lsigs:
+        arcs.append((previous, s + "+"))
+        previous = s + "+"
+    left_end = previous
+    previous = "t+"
+    for s in rsigs:
+        arcs.append((previous, s + "+"))
+        previous = s + "+"
+    right_end = previous
+    arcs += [(left_end, "a+"), (right_end, "a+"), ("a+", "t-")]
+    # falling phase mirrors the rising one
+    previous = "t-"
+    for s in lsigs:
+        arcs.append((previous, s + "-"))
+        previous = s + "-"
+    left_fall = previous
+    previous = "t-"
+    for s in rsigs:
+        arcs.append((previous, s + "-"))
+        previous = s + "-"
+    arcs += [(left_fall, "a-"), (previous, "a-")]
+    return marked_graph("random-forkjoin", [],
+                        ["t", "a"] + lsigs + rsigs,
+                        arcs, [("a-", "t+")])
+
+
+class TestPipelineProperties:
+    @given(ring_stgs())
+    @settings(max_examples=20, deadline=None)
+    def test_rings_synthesize_and_verify(self, stg):
+        sg = state_graph_of(stg)
+        report = check_speed_independence(sg)
+        assert report.speed_independent
+        if not report.implementable:
+            return  # rings with few signals may lack CSC: fine, caught
+        implementations = synthesize_all(sg)
+        verify_implementation(sg, implementations)
+
+    @given(fork_join_stgs())
+    @settings(max_examples=15, deadline=None)
+    def test_fork_joins_map_and_conform(self, stg):
+        sg = state_graph_of(stg)
+        if not check_speed_independence(sg).implementable:
+            return
+        result = map_circuit(sg, GateLibrary(3))
+        if not result.success:
+            return
+        assert result.netlist.stats().max_complexity <= 3
+        verify_implementation(result.sg, result.implementations)
+        hidden = set(result.sg.signals) - set(sg.signals)
+        assert weakly_bisimilar(sg, result.sg, hidden)
+
+
+class TestBenchmarkEndToEnd:
+    @pytest.mark.parametrize("name", ["hazard", "chu133", "vbe5c",
+                                      "nowick", "trimos-send"])
+    def test_full_pipeline(self, name):
+        sg = state_graph_of(benchmark(name))
+        result = map_circuit(sg, GateLibrary(2))
+        assert result.success
+        assert result.netlist.stats().max_complexity <= 2
+        verify_implementation(result.sg, result.implementations)
+        hidden = set(result.sg.signals) - set(sg.signals)
+        assert weakly_bisimilar(sg, result.sg, hidden)
+
+    @pytest.mark.parametrize("name", ["hazard", "mmu"])
+    def test_library_sweep_consistent(self, name):
+        sg = state_graph_of(benchmark(name))
+        previous = None
+        for k in (2, 3, 4):
+            result = map_circuit(sg, GateLibrary(k))
+            if not result.success:
+                continue
+            assert result.netlist.stats().max_complexity <= k
+            if previous is not None:
+                assert result.inserted_signals <= previous
+            previous = result.inserted_signals

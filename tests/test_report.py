@@ -1,0 +1,55 @@
+"""Tests for the Table-1 reporting layer (on a fast circuit subset)."""
+
+import pytest
+
+from repro.report import (Table1Row, format_rows, summarize, table1,
+                          table1_row)
+
+FAST = ["half", "hazard", "chu133"]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return [table1_row(name, libraries=(2,), with_siegel=True)
+            for name in FAST]
+
+
+class TestRow:
+    def test_row_fields(self, rows):
+        row = rows[0]
+        assert row.name == "half"
+        assert len(row.histogram) == 6
+        assert 2 in row.inserted
+
+    def test_cells_shape(self, rows):
+        for row in rows:
+            cells = row.cells()
+            assert cells[0] == row.name
+            assert len(cells) == 13
+
+    def test_na_rendering(self):
+        row = Table1Row("fake", [0] * 6, {2: None}, None, (10, 2), None)
+        cells = row.cells()
+        assert "n.i." in cells
+        assert "-" in cells
+
+
+class TestFormatting:
+    def test_format_rows_aligns(self, rows):
+        text = format_rows(rows)
+        lines = text.splitlines()
+        assert lines[0].lstrip().startswith("circuit")
+        assert len(lines) == len(rows) + 2  # header + rule
+
+    def test_summarize_mentions_claims(self, rows):
+        text = summarize(rows)
+        assert "2-literal" in text
+        assert "[12]" in text
+
+
+class TestTable1Driver:
+    def test_subset_run(self):
+        rows, text = table1(names=["half", "hazard"], libraries=(2,),
+                            with_siegel=False)
+        assert len(rows) == 2
+        assert "half" in text and "hazard" in text

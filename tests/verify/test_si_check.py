@@ -1,0 +1,57 @@
+"""Unit tests for gate-level SI verification."""
+
+import pytest
+
+from repro.boolean.sop import SopCover
+from repro.errors import VerificationError
+from repro.synthesis.cover import synthesize_all, synthesize_signal
+from repro.verify.si_check import verify_implementation
+
+
+class TestCleanImplementations:
+    def test_celement_passes(self, celement_sg):
+        impls = synthesize_all(celement_sg)
+        verify_implementation(celement_sg, impls)
+
+    def test_two_er_passes(self, two_er_sg):
+        verify_implementation(two_er_sg, synthesize_all(two_er_sg))
+
+    def test_missing_signal_detected(self, celement_sg):
+        with pytest.raises(VerificationError):
+            verify_implementation(celement_sg, {})
+
+
+class TestTamperedImplementations:
+    def test_wrong_complete_cover_detected(self, two_er_sg):
+        impls = synthesize_all(two_er_sg)
+        impl = impls["x"]
+        assert impl.is_combinational
+        impl.complete = SopCover.from_string("a")  # drops the b term
+        with pytest.raises(VerificationError):
+            verify_implementation(two_er_sg, impls)
+
+    def test_wrong_set_cover_detected(self, celement_sg):
+        impls = synthesize_all(celement_sg)
+        impl = impls["c"]
+        # Replace the set cover a·b by a: covers states outside
+        # ER(c+) ∪ QR(c+) and conflicts with the reset network.
+        impl.set_covers[0].cover = SopCover.from_string("a")
+        with pytest.raises(VerificationError):
+            verify_implementation(celement_sg, impls)
+
+    def test_stale_region_detected(self, celement_sg, two_er_sg):
+        impls = synthesize_all(celement_sg)
+        other = synthesize_signal(two_er_sg, "x")
+        # x's covers reference regions of a different graph.
+        impls["c"].set_covers = other.set_covers
+        with pytest.raises(VerificationError):
+            verify_implementation(celement_sg, impls)
+
+    def test_forced_sequential_with_bad_reset(self, celement_sg):
+        impls = synthesize_all(celement_sg)
+        impl = impls["c"]
+        impl.reset_covers[0].cover = SopCover.from_string("a' b' c'")
+        # c' makes the reset cover 0 in ER(c-)? no — ER(c-) states have
+        # c=1, so the tampered cover misses its own ER.
+        with pytest.raises(VerificationError):
+            verify_implementation(celement_sg, impls)

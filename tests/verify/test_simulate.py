@@ -1,0 +1,59 @@
+"""Tests for the event-driven gate-level simulator."""
+
+import pytest
+
+from repro.boolean.sop import SopCover
+from repro.errors import VerificationError
+from repro.synthesis.cover import synthesize_all
+from repro.synthesis.netlist import Netlist
+from repro.verify.simulate import (GateLevelSimulator,
+                                   simulate_implementation)
+
+
+@pytest.fixture
+def celement_netlist(celement_sg):
+    return Netlist("celement", synthesize_all(celement_sg))
+
+
+class TestCleanCircuits:
+    def test_celement_simulates(self, celement_sg, celement_netlist):
+        total = simulate_implementation(celement_sg, celement_netlist,
+                                        seeds=range(8), steps=400)
+        assert total > 0
+
+    def test_combinational_circuit(self, two_er_sg):
+        netlist = Netlist("twoer", synthesize_all(two_er_sg))
+        simulate_implementation(two_er_sg, netlist, seeds=range(8),
+                                steps=400)
+
+    def test_mapped_benchmark(self):
+        from repro.bench_suite import benchmark
+        from repro.mapping.decompose import map_circuit
+        from repro.sg.reachability import state_graph_of
+        from repro.synthesis.library import GateLibrary
+        sg = state_graph_of(benchmark("hazard"))
+        result = map_circuit(sg, GateLibrary(2))
+        simulate_implementation(result.sg, result.netlist,
+                                seeds=range(8), steps=400)
+
+
+class TestDetection:
+    def test_wrong_cover_detected(self, celement_sg, celement_netlist):
+        # Corrupt the set cover: c will rise at the wrong time or the
+        # set/reset networks will conflict.
+        for gate in celement_netlist.gates:
+            if gate.output == "set_c_1":
+                gate.cover = SopCover.from_string("a")
+        with pytest.raises(VerificationError):
+            simulate_implementation(celement_sg, celement_netlist,
+                                    seeds=range(8), steps=400)
+
+    def test_missing_gate_detected(self, celement_sg, celement_netlist):
+        celement_netlist.c_elements.clear()
+        with pytest.raises(VerificationError):
+            GateLevelSimulator(celement_sg, celement_netlist)
+
+    def test_deterministic_per_seed(self, celement_sg,
+                                    celement_netlist):
+        sim = GateLevelSimulator(celement_sg, celement_netlist)
+        assert sim.run(steps=200, seed=3) == sim.run(steps=200, seed=3)
