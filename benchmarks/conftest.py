@@ -5,20 +5,21 @@ regenerates the paper's tables and figures in bounded time:
 
 * ``REPRO_FULL_TABLE1=1`` switches from the representative subset to
   the full 32-circuit suite;
-* mapping results are cached per (circuit, library, mode) so that the
-  several Table-1 benchmarks do not redo each other's work.
+* all artifacts (state graphs, initial synthesis, mapping results per
+  (circuit, library, mode)) are shared through one
+  :class:`repro.pipeline.SynthesisContext` per circuit backed by a
+  harness-wide :class:`repro.pipeline.ArtifactCache`, so the several
+  Table-1 benchmarks do not redo each other's work.
 """
 
 import os
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
 import pytest
 
-from repro.baselines.local_ack import map_local_ack
-from repro.bench_suite import benchmark_names, benchmark
-from repro.mapping.decompose import MappingResult, map_circuit
-from repro.sg.reachability import state_graph_of
-from repro.synthesis.library import GateLibrary
+from repro.bench_suite import benchmark_names
+from repro.mapping.decompose import MappingResult
+from repro.pipeline import ArtifactCache, SynthesisContext
 
 # Circuits that exercise every regime (small classics, mid-size
 # controllers, high-fanin joins, one of the hard input-dominated ones)
@@ -29,8 +30,8 @@ SUBSET = [
     "seq_mix", "trimos-send", "mr1", "wrdatab", "vbe10b",
 ]
 
-_RESULTS: Dict[Tuple[str, int, str], MappingResult] = {}
-_SGS: Dict[str, object] = {}
+_CACHE = ArtifactCache()
+_CONTEXTS: Dict[str, SynthesisContext] = {}
 
 
 def selected_names():
@@ -39,19 +40,20 @@ def selected_names():
     return list(SUBSET)
 
 
+def circuit_context(name: str) -> SynthesisContext:
+    if name not in _CONTEXTS:
+        _CONTEXTS[name] = SynthesisContext.from_benchmark(name,
+                                                          cache=_CACHE)
+    return _CONTEXTS[name]
+
+
 def circuit_sg(name: str):
-    if name not in _SGS:
-        _SGS[name] = state_graph_of(benchmark(name))
-    return _SGS[name]
+    return circuit_context(name).state_graph()
 
 
 def mapping_result(name: str, literals: int,
                    mode: str = "global") -> MappingResult:
-    key = (name, literals, mode)
-    if key not in _RESULTS:
-        mapper = map_local_ack if mode == "local" else map_circuit
-        _RESULTS[key] = mapper(circuit_sg(name), GateLibrary(literals))
-    return _RESULTS[key]
+    return circuit_context(name).mapping(literals, mode)
 
 
 @pytest.fixture(scope="session")

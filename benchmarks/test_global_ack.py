@@ -14,10 +14,7 @@ cannot.
 
 import pytest
 
-from repro.synthesis.cover import synthesize_all
-from repro.synthesis.netlist import Netlist
-
-from conftest import circuit_sg, mapping_result
+from conftest import circuit_context, mapping_result
 
 HIGH_FANIN = ["mr1", "vbe10b"]
 # wrdatab (a 4-input AND join) usually maps at i = 2 as well, but its
@@ -33,9 +30,8 @@ HARD = ["tsend-bm"]
 def test_high_fanin_initial_shape(benchmark, name):
     """The reconstructions really have 4+-literal covers (Figure 6
     'before' side)."""
-    sg = circuit_sg(name)
     stats = benchmark.pedantic(
-        lambda: Netlist(name, synthesize_all(sg)).stats(),
+        lambda: circuit_context(name).initial_netlist().stats(),
         rounds=1, iterations=1)
     print(f"\n{name}: worst gate {stats.max_complexity} literals, "
           f"cost {stats.cost_string()}")

@@ -25,19 +25,13 @@ import pytest
 
 from repro.baselines.tech_decomp import tech_decomp_cost
 from repro.mapping.cost import implementation_cost
-from repro.synthesis.cover import synthesize_all
-from repro.synthesis.netlist import Netlist
 
-from conftest import circuit_sg, mapping_result, selected_names
+from conftest import circuit_context, mapping_result, selected_names
 
 
 def _histogram_rows():
-    rows = {}
-    for name in selected_names():
-        sg = circuit_sg(name)
-        stats = Netlist(name, synthesize_all(sg)).stats()
-        rows[name] = stats
-    return rows
+    return {name: circuit_context(name).initial_netlist().stats()
+            for name in selected_names()}
 
 
 def test_table1_initial_complexity(benchmark):
@@ -127,8 +121,7 @@ def test_table1_siegel_column(benchmark):
 def _cost_rows():
     rows = {}
     for name in selected_names():
-        sg = circuit_sg(name)
-        implementations = synthesize_all(sg)
+        implementations = circuit_context(name).implementations()
         non_si = tech_decomp_cost(implementations, 2)
         ours = mapping_result(name, 2)
         si = (implementation_cost(ours.implementations)

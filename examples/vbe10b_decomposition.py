@@ -11,21 +11,18 @@ decomposition and contrasts the two methods.
 
 import time
 
-from repro import GateLibrary, map_circuit, state_graph_of
-from repro.baselines.local_ack import map_local_ack
-from repro.bench_suite import benchmark
-from repro.synthesis.cover import synthesize_all
-from repro.synthesis.netlist import Netlist
+from repro import GateLibrary
+from repro.pipeline import SynthesisContext
 from repro.verify import verify_implementation
 
 
 def main() -> None:
-    stg = benchmark("vbe10b")
-    sg = state_graph_of(stg)
+    # One context = one reachability pass and one initial synthesis,
+    # shared by the global and local mapping runs below.
+    context = SynthesisContext.from_benchmark("vbe10b")
     library = GateLibrary(2)
 
-    implementations = synthesize_all(sg)
-    initial = Netlist(stg.name, implementations)
+    initial = context.initial_netlist()
     stats = initial.stats()
     print("before decomposition (complex gates):")
     print(initial.pretty())
@@ -33,7 +30,7 @@ def main() -> None:
           f"cost {stats.cost_string()} (literals/C)")
 
     start = time.time()
-    result = map_circuit(sg, library)
+    result = context.mapping(2)
     elapsed = time.time() - start
     print(f"\nglobal acknowledgment (the paper's method): "
           f"{result.summary()}  [{elapsed:.1f}s]")
@@ -43,7 +40,7 @@ def main() -> None:
         print("speed-independence verified")
 
     start = time.time()
-    local = map_local_ack(sg, library)
+    local = context.mapping(2, "local")
     elapsed = time.time() - start
     print(f"\nlocal acknowledgment (the [12] baseline): "
           f"{local.summary()}  [{elapsed:.1f}s]")

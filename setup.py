@@ -1,10 +1,12 @@
 """Legacy setup shim.
 
-The offline environment ships setuptools without the ``wheel`` package,
-so PEP-660 editable installs (``pip install -e .``) cannot build a
-wheel.  This shim lets ``python setup.py develop`` (and thereby
-``pip install -e . --no-build-isolation`` on newer toolchains) work;
-all real metadata lives in pyproject.toml.
+All real metadata lives in pyproject.toml (including the ``si-mapper``
+console-script entry point and the ``src/`` package layout); setuptools
+reads it from there.  This shim exists because the offline environment
+ships setuptools without the ``wheel`` package, so PEP-660 editable
+installs (``pip install -e .``) cannot build a wheel.  It lets
+``python setup.py develop`` (and thereby ``pip install -e .
+--no-build-isolation`` on newer toolchains) work.
 """
 
 from setuptools import setup

@@ -29,6 +29,8 @@ from repro.stg import SignalTransition, Stg, load_g, parse_g, write_g
 from repro.synthesis import (GateLibrary, Netlist, synthesize_all,
                              synthesize_signal)
 from repro.verify import verify_implementation, weakly_bisimilar
+from repro.pipeline import (ArtifactCache, BatchRunner, Pipeline,
+                            PipelineConfig, RunRecord, SynthesisContext)
 
 __version__ = "1.0.0"
 
@@ -56,5 +58,11 @@ __all__ = [
     "map_circuit",
     "verify_implementation",
     "weakly_bisimilar",
+    "ArtifactCache",
+    "BatchRunner",
+    "Pipeline",
+    "PipelineConfig",
+    "RunRecord",
+    "SynthesisContext",
     "__version__",
 ]

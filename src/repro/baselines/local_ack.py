@@ -15,17 +15,21 @@ new signal.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.mapping.decompose import (MapperConfig, MappingResult,
                                      TechnologyMapper)
 from repro.sg.graph import StateGraph
 from repro.stg.stg import Stg
+from repro.synthesis.cover import SignalImplementation
 from repro.synthesis.library import GateLibrary
 
 
 def map_local_ack(circuit: Union[Stg, StateGraph], library: GateLibrary,
-                  config: Optional[MapperConfig] = None) -> MappingResult:
+                  config: Optional[MapperConfig] = None,
+                  implementations: Optional[Dict[str, SignalImplementation]] = None
+                  ) -> MappingResult:
     """Map with local acknowledgment only (the [12] baseline)."""
     base = config or MapperConfig()
-    return TechnologyMapper(library, base.local_ack()).map(circuit)
+    return TechnologyMapper(library, base.local_ack()).map(circuit,
+                                                          implementations)

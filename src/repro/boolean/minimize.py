@@ -26,6 +26,7 @@ one AND plus one compare.  The public API speaks
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -40,6 +41,21 @@ IntCube = Tuple[int, int]  # (mask, value): v covered iff v & mask == value
 
 
 def _vector_int(vector: Vector, support: Sequence[str]) -> int:
+    try:
+        return _vector_int_cached(vector, tuple(support))
+    except TypeError:        # unhashable mapping (plain dict input)
+        return _vector_int_compute(vector, tuple(support))
+
+
+@lru_cache(maxsize=1 << 18)
+def _vector_int_cached(vector: Vector, support: Tuple[str, ...]) -> int:
+    return _vector_int_compute(vector, support)
+
+
+def _vector_int_compute(vector: Vector, support: Tuple[str, ...]) -> int:
+    # State codes (FrozenVector) hash by content and recur across the
+    # thousands of minimize() calls of one mapping run; the memo turns
+    # the dominant cost of cover synthesis into a dict lookup.
     bits = 0
     for index, name in enumerate(support):
         if vector[name]:
@@ -205,7 +221,7 @@ def minimize(on: Iterable[Vector], off: Iterable[Vector],
     CoverError
         If some vector appears in both ON and OFF (no cover exists).
     """
-    support = list(support)
+    support = tuple(support)
     width = len(support)
     on_ints = sorted({_vector_int(v, support) for v in on})
     off_ints = sorted({_vector_int(v, support) for v in off})

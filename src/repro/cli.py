@@ -3,12 +3,17 @@
 Sub-commands:
 
 * ``si-mapper map circuit.g [-k LITERALS] [--local-ack] [--dot out.dot]``
-  — map one STG and print the netlist;
+  — map one STG (a ``.g`` file or a built-in benchmark name) and print
+  the netlist;
 * ``si-mapper check circuit.g`` — run the SG property suite;
-* ``si-mapper report [names...] [-k ...]`` — regenerate (part of)
-  Table 1 on the built-in benchmark suite;
+* ``si-mapper report [names...] [-k ...] [-j JOBS]`` — regenerate
+  (part of) Table 1 on the built-in benchmark suite, fanning circuits
+  out over worker processes;
 * ``si-mapper bench-list`` — list the benchmark suite;
 * ``si-mapper show NAME`` — print a built-in benchmark as ``.g``.
+
+Every command runs through :mod:`repro.pipeline`, so repeated stages
+(reachability, initial synthesis) are computed once per circuit.
 """
 
 from __future__ import annotations
@@ -19,30 +24,35 @@ from typing import List, Optional
 
 from repro.bench_suite import benchmark, benchmark_names
 from repro.errors import ReproError
-from repro.mapping.decompose import MapperConfig, map_circuit
-from repro.baselines.local_ack import map_local_ack
-from repro.sg.properties import check_speed_independence
-from repro.sg.reachability import state_graph_of
-from repro.stg.parser import load_g
+from repro.mapping.decompose import MapperConfig
+from repro.pipeline import Pipeline, PipelineConfig, SynthesisContext
 from repro.stg.writer import write_g
 from repro.synthesis.library import GateLibrary
-from repro.verify import verify_implementation
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
-    stg = load_g(args.circuit)
+    config = PipelineConfig(
+        libraries=(args.literals,),
+        with_siegel=False,
+        local_mode=args.local_ack,
+        mapper=MapperConfig(solve_csc=args.solve_csc),
+        verify=args.verify,
+        keep_artifacts=True)
+    record = Pipeline(config).run(args.circuit)
+    mode = "local" if args.local_ack else "global"
+    result = record.mappings[(args.literals, mode)]
+    stg = record.stg
     library = GateLibrary(args.literals)
-    config = MapperConfig(solve_csc=args.solve_csc)
-    mapper = map_local_ack if args.local_ack else map_circuit
-    result = mapper(stg, library, config)
     print(result.summary())
     for step in result.steps:
         print(f"  + {step.signal} for {step.target} via {step.divisor}")
     print()
     print(result.netlist.pretty(library))
-    if result.success and args.verify:
-        verify_implementation(result.sg, result.implementations)
+    if record.verified:
         print("\nspeed-independence verification: OK")
+    if args.timings:
+        print("\nstage timings:")
+        print(record.timing_summary())
     if args.dot:
         with open(args.dot, "w", encoding="utf-8") as handle:
             handle.write(result.sg.to_dot())
@@ -63,15 +73,16 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    stg = load_g(args.circuit)
+    context = SynthesisContext.from_file(args.circuit)
+    stg = context.stg
     from repro.stg.analysis import structural_report
     structure = structural_report(stg)
     classes = [label for label, key in (
         ("marked-graph", "marked_graph"),
         ("state-machine", "state_machine"),
         ("free-choice", "free_choice")) if structure.get(key)]
-    sg = state_graph_of(stg)
-    report = check_speed_independence(sg)
+    sg = context.state_graph()
+    report = context.check()
     print(f"{stg.name}: {len(sg)} states, "
           f"{len(sg.signals)} signals; "
           f"net class: {', '.join(classes) or 'general'}")
@@ -88,11 +99,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.report import table1
     names = args.names or None
-    _, text = table1(names, libraries=tuple(args.literals),
-                     with_siegel=not args.no_siegel,
-                     progress=True)
+    rows, text = table1(names, libraries=tuple(args.literals),
+                        with_siegel=not args.no_siegel,
+                        progress=True, jobs=args.jobs)
     print(text)
-    return 0
+    expected = args.names or benchmark_names()
+    return 0 if len(rows) == len(expected) else 1
 
 
 def _cmd_bench_list(args: argparse.Namespace) -> int:
@@ -116,7 +128,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_map = sub.add_parser("map", help="map an STG into a library")
-    p_map.add_argument("circuit", help=".g file")
+    p_map.add_argument("circuit", help=".g file (or a built-in "
+                                       "benchmark name)")
     p_map.add_argument("-k", "--literals", type=int, default=2,
                        help="max literals per gate (default 2)")
     p_map.add_argument("--local-ack", action="store_true",
@@ -132,6 +145,8 @@ def build_parser() -> argparse.ArgumentParser:
                        action="store_false",
                        help="skip the final SI verification")
     p_map.add_argument("--dot", help="write the final SG as GraphViz")
+    p_map.add_argument("--timings", action="store_true",
+                       help="print per-stage pipeline timings")
     p_map.set_defaults(func=_cmd_map)
 
     p_check = sub.add_parser("check", help="verify STG implementability")
@@ -146,6 +161,9 @@ def build_parser() -> argparse.ArgumentParser:
                           default=[2, 3, 4])
     p_report.add_argument("--no-siegel", action="store_true",
                           help="skip the local-ack baseline column")
+    p_report.add_argument("-j", "--jobs", type=int, default=None,
+                          help="parallel worker processes "
+                               "(default: one per CPU; 1 = serial)")
     p_report.set_defaults(func=_cmd_report)
 
     p_list = sub.add_parser("bench-list", help="list the benchmarks")

@@ -180,19 +180,34 @@ class TechnologyMapper:
     # Entry point
     # ------------------------------------------------------------------
 
-    def map(self, circuit: Union[Stg, StateGraph]) -> MappingResult:
-        """Map an STG or state graph into the configured library."""
+    def map(self, circuit: Union[Stg, StateGraph],
+            implementations: Optional[Dict[str, SignalImplementation]] = None
+            ) -> MappingResult:
+        """Map an STG or state graph into the configured library.
+
+        ``implementations`` may carry a precomputed initial synthesis of
+        ``circuit`` (as produced by :func:`synthesize_all` on the same
+        state graph); the mapper then skips the redundant resynthesis.
+        This is how :class:`repro.pipeline.SynthesisContext` shares one
+        initial synthesis across the whole k = 2/3/4 + baseline battery.
+        The argument is ignored whenever the state graph must be derived
+        first (STG input or CSC solving), since the covers would not
+        match it.
+        """
         if isinstance(circuit, Stg):
             from repro.sg.reachability import state_graph_of
             sg = state_graph_of(circuit)
+            implementations = None
         else:
             sg = circuit.copy()
         if self.config.solve_csc:
             from repro.mapping.csc import solve_csc
             sg = solve_csc(sg, signal_prefix="csc").sg
+            implementations = None
         assert_implementable(sg)
 
-        implementations = synthesize_all(sg)
+        if implementations is None:
+            implementations = synthesize_all(sg)
         initial_netlist = Netlist(sg.name, implementations)
         steps: List[DecompositionStep] = []
         self._neutral_streak = 0
@@ -481,6 +496,8 @@ class TechnologyMapper:
 
 
 def map_circuit(circuit: Union[Stg, StateGraph], library: GateLibrary,
-                config: Optional[MapperConfig] = None) -> MappingResult:
+                config: Optional[MapperConfig] = None,
+                implementations: Optional[Dict[str, SignalImplementation]] = None
+                ) -> MappingResult:
     """Convenience wrapper: map a circuit into a library."""
-    return TechnologyMapper(library, config).map(circuit)
+    return TechnologyMapper(library, config).map(circuit, implementations)

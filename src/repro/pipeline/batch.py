@@ -1,0 +1,131 @@
+"""Process-parallel batch execution of the synthesis pipeline.
+
+:class:`BatchRunner` fans a list of circuits out over a
+``concurrent.futures.ProcessPoolExecutor`` (or runs them serially when
+``jobs=1`` / only one CPU is available) with:
+
+* **deterministic ordering** — results come back in input order no
+  matter which worker finished first;
+* **per-circuit fault isolation** — a crash (or ``n.i.``, or a missing
+  benchmark) yields an errored :class:`BatchItem`; it never kills the
+  batch.  Even a dying worker process only fails its own circuit: the
+  remaining circuits fall back to in-process execution.
+
+Workers rebuild their own :class:`~repro.pipeline.context.
+SynthesisContext` from the circuit source (a benchmark name or ``.g``
+text travels cheaply across the process boundary), so each circuit
+still shares one reachability pass and one initial synthesis across
+its whole mapping battery.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.pipeline.run import Pipeline, PipelineConfig, RunRecord
+
+#: a batch entry: benchmark name, ``.g`` path, or (name, g_text) pair
+BatchSource = Union[str, Tuple[str, str]]
+
+
+@dataclass
+class BatchItem:
+    """Outcome of one circuit of a batch: a record or an error."""
+
+    name: str
+    record: Optional[RunRecord]
+    error: Optional[str]
+    seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _source_name(source: BatchSource) -> str:
+    return source[0] if isinstance(source, tuple) else source
+
+
+def _run_source(source: BatchSource,
+                config: PipelineConfig) -> BatchItem:
+    """Run one circuit with fault isolation (also the worker entry)."""
+    start = time.perf_counter()
+    try:
+        record = Pipeline(config).run(source)
+        return BatchItem(record.name, record, None,
+                         time.perf_counter() - start)
+    except Exception as error:
+        return BatchItem(_source_name(source), None,
+                         f"{type(error).__name__}: {error}",
+                         time.perf_counter() - start)
+
+
+class BatchRunner:
+    """Run the pipeline over many circuits, possibly in parallel."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None,
+                 jobs: Optional[int] = None):
+        self.config = config or PipelineConfig()
+        self.jobs = jobs
+
+    def resolved_jobs(self, count: int) -> int:
+        jobs = self.jobs if self.jobs else (os.cpu_count() or 1)
+        return max(1, min(jobs, count))
+
+    def run(self, sources: Sequence[BatchSource],
+            progress: Optional[Callable[[str], None]] = None
+            ) -> List[BatchItem]:
+        """Run every circuit; results are returned in input order.
+
+        ``progress`` is called with each circuit's name, in input
+        order, just before its result is consumed — deterministic
+        output even when workers finish out of order.
+        """
+        sources = list(sources)
+        # Worker records must cross the process boundary: strip the
+        # heavyweight artifacts (state graphs, netlists) regardless of
+        # the in-process default.
+        config = replace(self.config, keep_artifacts=False)
+        if self.resolved_jobs(len(sources)) == 1:
+            items = []
+            for source in sources:
+                if progress is not None:
+                    progress(_source_name(source))
+                items.append(_run_source(source, config))
+            return items
+        return self._run_pool(sources, config, progress)
+
+    def _run_pool(self, sources: Sequence[BatchSource],
+                  config: PipelineConfig,
+                  progress: Optional[Callable[[str], None]]
+                  ) -> List[BatchItem]:
+        jobs = self.resolved_jobs(len(sources))
+        items: List[BatchItem] = []
+        pool_broken = False
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_run_source, source, config)
+                       for source in sources]
+            for source, future in zip(sources, futures):
+                if progress is not None:
+                    progress(_source_name(source))
+                if pool_broken:
+                    # The executor died (a worker was killed); keep the
+                    # batch alive by finishing in-process.
+                    future.cancel()
+                    items.append(_run_source(source, config))
+                    continue
+                try:
+                    items.append(future.result())
+                except Exception as error:
+                    # BrokenProcessPool and friends: this circuit is
+                    # charged with the crash, the rest falls back.
+                    pool_broken = True
+                    items.append(BatchItem(
+                        _source_name(source), None,
+                        f"worker died: {type(error).__name__}: {error}",
+                        0.0))
+        return items

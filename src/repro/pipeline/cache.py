@@ -1,0 +1,77 @@
+"""Content-keyed artifact cache shared across synthesis contexts.
+
+Every expensive intermediate of the synthesis flow (encoded state
+graph, CSC-resolved state graph, per-signal cover implementations,
+mapping results) is stored under a key derived from the *content* of
+the source STG — the SHA-256 of its canonical ``.g`` serialization —
+plus the artifact kind and its parameters.  Two contexts built from the
+same circuit therefore share one reachability pass and one initial
+synthesis, no matter how the circuit was loaded (benchmark registry,
+``.g`` file, inline text).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+
+def content_key_of(g_text: str) -> str:
+    """The cache namespace for one circuit: SHA-256 of its ``.g`` form."""
+    return hashlib.sha256(g_text.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """A thread-safe memo table for synthesis artifacts.
+
+    Keys are hashable tuples ``(kind, content_key, *params)``; values
+    are whatever the compute thunk returns.  Artifacts are treated as
+    immutable by convention — consumers that need to mutate a state
+    graph must copy it (the mapper already does).
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[Hashable, Any] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._store
+
+    def get_or_compute(self, key: Hashable,
+                       compute: Callable[[], Any]) -> Any:
+        """Return the cached artifact for ``key``, computing on miss."""
+        with self._lock:
+            if key in self._store:
+                self.hits += 1
+                return self._store[key]
+        value = compute()
+        with self._lock:
+            if key in self._store:          # lost a race: keep the first
+                self.hits += 1
+                return self._store[key]
+            self.misses += 1
+            self._store[key] = value
+            return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Tuple[int, int, int]:
+        """``(entries, hits, misses)`` — for telemetry and tests."""
+        with self._lock:
+            return len(self._store), self.hits, self.misses
+
+    def __repr__(self) -> str:
+        entries, hits, misses = self.stats()
+        return (f"ArtifactCache(entries={entries}, hits={hits}, "
+                f"misses={misses})")

@@ -1,0 +1,231 @@
+"""The staged synthesis pipeline and its run telemetry.
+
+One :class:`Pipeline` run executes the paper's flow for one circuit —
+
+    load → reach → csc → synthesize → map → verify → report
+
+— through a :class:`~repro.pipeline.context.SynthesisContext`, timing
+every stage into a :class:`RunRecord`.  The ``map`` stage runs the
+whole Table-1 battery (each configured library size plus the
+local-acknowledgment baseline); thanks to the context's artifact cache
+the battery shares a single reachability pass and a single initial
+synthesis.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.mapping.decompose import MapperConfig, MappingResult
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.context import SynthesisContext
+from repro.stg.stg import Stg
+
+#: stage names, in execution order
+STAGES = ("load", "reach", "csc", "synthesize", "map", "verify",
+          "report")
+
+#: a circuit source: benchmark name, ``.g`` path, (name, g_text) pair,
+#: parsed Stg, or a ready context
+Source = Union[str, Tuple[str, str], Stg, SynthesisContext]
+
+
+@dataclass
+class StageTiming:
+    """Wall-clock seconds spent in one pipeline stage."""
+
+    stage: str
+    seconds: float
+
+
+@dataclass
+class RunRecord:
+    """Telemetry and results of one pipeline run.
+
+    Records are designed to cross process boundaries: with
+    ``keep_artifacts=False`` they carry only plain data (timings,
+    counters, the Table-1 row), so a :class:`~repro.pipeline.batch.
+    BatchRunner` worker can return one cheaply.
+    """
+
+    name: str
+    timings: List[StageTiming] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+    row: Optional[Any] = None                # repro.report.Table1Row
+    verified: Optional[bool] = None
+    mappings: Optional[Dict[Tuple[int, str], MappingResult]] = None
+    context: Optional[SynthesisContext] = None   # keep_artifacts only
+
+    @property
+    def stg(self) -> Optional[Stg]:
+        return self.context.stg if self.context is not None else None
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(timing.seconds for timing in self.timings)
+
+    def seconds(self, stage: str) -> float:
+        return sum(timing.seconds for timing in self.timings
+                   if timing.stage == stage)
+
+    def timing_summary(self) -> str:
+        """One line per stage, e.g. for ``si-mapper ... --timings``."""
+        lines = [f"{timing.stage:>12}  {timing.seconds * 1e3:9.1f} ms"
+                 for timing in self.timings]
+        lines.append(f"{'total':>12}  {self.total_seconds * 1e3:9.1f} ms")
+        return "\n".join(lines)
+
+
+@dataclass
+class PipelineConfig:
+    """What a pipeline run computes.
+
+    ``libraries`` are the gate sizes of the mapping battery;
+    ``with_siegel`` adds the local-acknowledgment baseline at 2
+    literals (the paper's ``[12]`` column); ``mapper`` tunes the
+    mapping loop (including CSC solving); ``verify`` runs the
+    speed-independence checker on the smallest successful mapping;
+    ``keep_artifacts`` retains the full (heavy, unpicklable-across-
+    workers-for-free) :class:`MappingResult` objects on the record.
+    """
+
+    libraries: Tuple[int, ...] = (2, 3, 4)
+    with_siegel: bool = True
+    mapper: Optional[MapperConfig] = None
+    verify: bool = False
+    keep_artifacts: bool = True
+    local_mode: bool = False     # battery runs in "local" mode instead
+
+    @property
+    def modes(self) -> List[Tuple[int, str]]:
+        """The (library, mode) battery of the ``map`` stage."""
+        mode = "local" if self.local_mode else "global"
+        battery = [(k, mode) for k in self.libraries]
+        if self.with_siegel and not self.local_mode:
+            battery.append((2, "local"))
+        return battery
+
+
+@contextmanager
+def _timed(record: RunRecord, stage: str):
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        record.timings.append(
+            StageTiming(stage, time.perf_counter() - start))
+
+
+class Pipeline:
+    """Run the staged synthesis flow for one circuit at a time."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None,
+                 cache: Optional[ArtifactCache] = None):
+        self.config = config or PipelineConfig()
+        self.cache = cache
+
+    def context_of(self, source: Source) -> SynthesisContext:
+        """Resolve a circuit source into a synthesis context."""
+        if isinstance(source, tuple):
+            name, text = source
+            return SynthesisContext.from_g(text, name, cache=self.cache)
+        return SynthesisContext.of(source, cache=self.cache)
+
+    def run(self, source: Source) -> RunRecord:
+        """Execute every stage for one circuit; errors propagate (the
+        batch runner adds per-circuit fault isolation on top)."""
+        config = self.config
+        mapper_config = config.mapper or MapperConfig()
+        record = RunRecord(name="?")
+
+        with _timed(record, "load"):
+            context = self.context_of(source)
+        record.name = context.name
+
+        with _timed(record, "reach"):
+            context.state_graph()
+
+        # When CSC solving is requested, every later stage must work on
+        # the conflict-free graph — the raw one may not even be
+        # synthesizable (overlapping ON/OFF sets).
+        csc = mapper_config.solve_csc
+        if csc:
+            with _timed(record, "csc"):
+                context.csc_state_graph()
+
+        with _timed(record, "synthesize"):
+            context.implementations(csc)
+
+        mappings: Dict[Tuple[int, str], MappingResult] = {}
+        with _timed(record, "map"):
+            for literals, mode in config.modes:
+                mappings[(literals, mode)] = context.mapping(
+                    literals, mode, mapper_config)
+
+        if config.verify:
+            with _timed(record, "verify"):
+                record.verified = self._verify(mappings)
+
+        with _timed(record, "report"):
+            record.row = self._report(context, mappings, csc)
+
+        record.stats = dict(context.stats)
+        if config.keep_artifacts:
+            record.mappings = mappings
+            record.context = context
+        return record
+
+    # ------------------------------------------------------------------
+    # Stage bodies
+    # ------------------------------------------------------------------
+
+    def _verify(self, mappings) -> Optional[bool]:
+        """Check SI of the smallest successful mapping of the battery."""
+        from repro.verify import verify_implementation
+        for (literals, mode) in sorted(mappings):
+            result = mappings[(literals, mode)]
+            if result.success:
+                verify_implementation(result.sg, result.implementations)
+                return True
+        return None
+
+    def _report(self, context: SynthesisContext, mappings,
+                csc: bool = False):
+        """Assemble the Table-1 row from the battery results.
+
+        With CSC solving on, the histogram / non-SI columns describe
+        the conflict-free graph (the raw one may not be synthesizable);
+        for CSC-clean circuits the two are identical.
+        """
+        from repro.baselines.tech_decomp import tech_decomp_cost
+        from repro.mapping.cost import implementation_cost
+        from repro.report import Table1Row
+
+        inserted: Dict[int, Optional[int]] = {}
+        si_cost: Optional[Tuple[int, int]] = None
+        mode = "local" if self.config.local_mode else "global"
+        for literals in self.config.libraries:
+            result = mappings[(literals, mode)]
+            inserted[literals] = (result.inserted_signals
+                                  if result.success else None)
+            if literals == 2 and result.success:
+                si_cost = implementation_cost(result.implementations)
+
+        siegel: Optional[int] = None
+        if (2, "local") in mappings and not self.config.local_mode:
+            local = mappings[(2, "local")]
+            siegel = local.inserted_signals if local.success else None
+
+        implementations = context.implementations(csc)
+        return Table1Row(
+            name=context.name,
+            histogram=context.initial_netlist(csc).stats()
+            .histogram_row(7),
+            inserted=inserted,
+            siegel_2lit=siegel,
+            non_si_cost=tech_decomp_cost(implementations, 2),
+            si_cost=si_cost,
+        )

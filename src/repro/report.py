@@ -19,15 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.baselines.local_ack import map_local_ack
-from repro.baselines.tech_decomp import tech_decomp_cost
-from repro.bench_suite import benchmark, benchmark_names
-from repro.mapping.cost import implementation_cost
-from repro.mapping.decompose import MapperConfig, map_circuit
-from repro.sg.reachability import state_graph_of
-from repro.synthesis.cover import synthesize_all
-from repro.synthesis.library import GateLibrary
-from repro.synthesis.netlist import Netlist
+from repro.bench_suite import benchmark_names
+from repro.mapping.decompose import MapperConfig
 
 
 @dataclass
@@ -58,34 +51,16 @@ class Table1Row:
 def table1_row(name: str, libraries: Sequence[int] = (2, 3, 4),
                config: Optional[MapperConfig] = None,
                with_siegel: bool = True) -> Table1Row:
-    """Run the full Table-1 battery for one benchmark."""
-    stg = benchmark(name)
-    sg = state_graph_of(stg)
-    implementations = synthesize_all(sg)
-    stats = Netlist(name, implementations).stats()
+    """Run the full Table-1 battery for one benchmark.
 
-    inserted: Dict[int, Optional[int]] = {}
-    si_cost: Optional[Tuple[int, int]] = None
-    for k in libraries:
-        result = map_circuit(sg, GateLibrary(k), config)
-        inserted[k] = result.inserted_signals if result.success else None
-        if k == 2 and result.success:
-            si_cost = implementation_cost(result.implementations)
-
-    siegel: Optional[int] = None
-    if with_siegel:
-        siegel_result = map_local_ack(sg, GateLibrary(2), config)
-        siegel = (siegel_result.inserted_signals
-                  if siegel_result.success else None)
-
-    return Table1Row(
-        name=name,
-        histogram=stats.histogram_row(7),
-        inserted=inserted,
-        siegel_2lit=siegel,
-        non_si_cost=tech_decomp_cost(implementations, 2),
-        si_cost=si_cost,
-    )
+    One :class:`repro.pipeline.Pipeline` run: the k-battery and the
+    baseline share a single reachability pass and initial synthesis.
+    """
+    from repro.pipeline import Pipeline, PipelineConfig
+    pipeline = Pipeline(PipelineConfig(
+        libraries=tuple(libraries), with_siegel=with_siegel,
+        mapper=config, keep_artifacts=False))
+    return pipeline.run(name).row
 
 
 _HEADER = (["circuit"] + [f"n={n}" for n in (2, 3, 4, 5, 6)] + ["n>=7"]
@@ -141,13 +116,27 @@ def table1(names: Optional[Sequence[str]] = None,
            libraries: Sequence[int] = (2, 3, 4),
            config: Optional[MapperConfig] = None,
            with_siegel: bool = True,
-           progress: bool = False) -> Tuple[List[Table1Row], str]:
-    """Run the whole Table-1 experiment; returns (rows, formatted)."""
+           progress: bool = False,
+           jobs: Optional[int] = None) -> Tuple[List[Table1Row], str]:
+    """Run the whole Table-1 experiment; returns (rows, formatted).
+
+    The suite fans out over a :class:`repro.pipeline.BatchRunner`
+    (``jobs=None`` uses every CPU, ``jobs=1`` forces serial).  A
+    circuit that errors is reported below the table instead of killing
+    the run.
+    """
+    from repro.pipeline import BatchRunner, PipelineConfig
     chosen = list(names) if names is not None else benchmark_names()
-    rows = []
-    for name in chosen:
-        if progress:
-            print(f"... {name}", flush=True)
-        rows.append(table1_row(name, libraries, config, with_siegel))
+    runner = BatchRunner(PipelineConfig(
+        libraries=tuple(libraries), with_siegel=with_siegel,
+        mapper=config, keep_artifacts=False), jobs=jobs)
+    callback = ((lambda name: print(f"... {name}", flush=True))
+                if progress else None)
+    items = runner.run(chosen, progress=callback)
+    rows = [item.record.row for item in items if item.ok]
     text = format_rows(rows) + "\n\n" + summarize(rows)
+    failures = [item for item in items if not item.ok]
+    if failures:
+        text += "\n\n" + "\n".join(
+            f"{item.name}: ERROR {item.error}" for item in failures)
     return rows, text

@@ -91,6 +91,7 @@ class StateGraph:
         self._pred: Dict[State, List[Tuple[Event, State]]] = {}
         self._initial: Optional[State] = None
         self._diamond_cache: Optional[List[Diamond]] = None
+        self._order_cache: Optional[Dict[State, int]] = None
 
     # ------------------------------------------------------------------
     # Signals
@@ -138,6 +139,7 @@ class StateGraph:
         if state not in self._codes:
             raise StgError(f"unknown state {state!r}")
         self._initial = state
+        self._order_cache = None
 
     def add_state(self, state: State, code: FrozenVector) -> State:
         if state in self._codes:
@@ -151,6 +153,7 @@ class StateGraph:
         self._succ[state] = []
         self._pred[state] = []
         self._diamond_cache = None
+        self._order_cache = None
         return state
 
     def add_arc(self, source: State, event: Event, target: State) -> None:
@@ -165,6 +168,7 @@ class StateGraph:
         self._succ[source].append((event, target))
         self._pred[target].append((event, source))
         self._diamond_cache = None
+        self._order_cache = None
 
     def code(self, state: State) -> FrozenVector:
         try:
@@ -205,6 +209,28 @@ class StateGraph:
     # Graph algorithms
     # ------------------------------------------------------------------
 
+    def bfs_order(self) -> Dict[State, int]:
+        """Deterministic BFS numbering of states from the initial state
+        (successors visited in ``repr`` order).
+
+        The mapping is cached — region indexing consults it once per
+        excitation-region computation — and invalidated by any graph
+        mutation.  Callers must treat the returned dict as read-only.
+        """
+        if self._order_cache is None:
+            order: Dict[State, int] = {self.initial: 0}
+            frontier: List[State] = [self.initial]
+            index = 0
+            while index < len(frontier):
+                state = frontier[index]
+                index += 1
+                for _, target in sorted(self._succ[state], key=repr):
+                    if target not in order:
+                        order[target] = len(order)
+                        frontier.append(target)
+            self._order_cache = order
+        return self._order_cache
+
     def reachable_from(self, sources: Iterable[State],
                        allowed: Optional[Set[State]] = None) -> Set[State]:
         """Forward closure of ``sources`` (restricted to ``allowed``)."""
@@ -235,6 +261,7 @@ class StateGraph:
                                       if t != state]
             del self._codes[state]
         self._diamond_cache = None
+        self._order_cache = None
         return len(dropped)
 
     def connected_components(self, states: Iterable[State]) -> List[Set[State]]:
@@ -308,6 +335,10 @@ class StateGraph:
                 clone.add_arc(state, event, target)
         if self._initial is not None:
             clone.set_initial(self._initial)
+        # The clone is content-identical, so the BFS numbering carries
+        # over; a later mutation of either graph only drops its own
+        # reference (the dict itself is never mutated in place).
+        clone._order_cache = self._order_cache
         return clone
 
     def relabel(self) -> "StateGraph":

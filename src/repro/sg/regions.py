@@ -71,17 +71,7 @@ def all_excitation_regions(sg: StateGraph,
 
 def _order_components(sg: StateGraph,
                       components: List[Set[State]]) -> List[Set[State]]:
-    order: Dict[State, int] = {}
-    frontier = [sg.initial]
-    order[sg.initial] = 0
-    index = 0
-    while index < len(frontier):
-        state = frontier[index]
-        index += 1
-        for _, target in sorted(sg.successors(state), key=repr):
-            if target not in order:
-                order[target] = len(order)
-                frontier.append(target)
+    order = sg.bfs_order()
     return sorted(components,
                   key=lambda c: min(order.get(s, len(order)) for s in c))
 

@@ -1,0 +1,60 @@
+"""BatchRunner: deterministic ordering and per-circuit fault isolation."""
+
+import pytest
+
+from repro.pipeline import BatchRunner, PipelineConfig
+
+FAST = PipelineConfig(libraries=(2,), with_siegel=False,
+                      keep_artifacts=False)
+NAMES = ["half", "hazard", "chu133"]
+
+
+def runner(jobs):
+    return BatchRunner(FAST, jobs=jobs)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+class TestBatch:
+    def test_results_in_input_order(self, jobs):
+        items = runner(jobs).run(NAMES)
+        assert [item.name for item in items] == NAMES
+        assert all(item.ok for item in items)
+        assert all(item.record.row is not None for item in items)
+
+    def test_fault_isolation(self, jobs):
+        """A missing circuit errors its own slot, never the batch."""
+        items = runner(jobs).run(["half", "no-such-circuit", "hazard"])
+        assert [item.ok for item in items] == [True, False, True]
+        assert "no-such-circuit" in items[1].error or \
+            "FileNotFoundError" in items[1].error
+        assert items[2].record.row.name == "hazard"
+
+    def test_progress_callback_in_input_order(self, jobs):
+        seen = []
+        runner(jobs).run(NAMES, progress=seen.append)
+        assert seen == NAMES
+
+    def test_inline_g_text_source(self, jobs):
+        from repro.bench_suite import benchmark
+        from repro.stg.writer import write_g
+        text = write_g(benchmark("half"))
+        items = runner(jobs).run([("half", text)])
+        assert items[0].ok
+        assert items[0].record.row.name == "half"
+
+
+def test_parallel_matches_serial():
+    """Worker processes return exactly what in-process runs produce."""
+    serial = runner(1).run(NAMES)
+    parallel = runner(2).run(NAMES)
+    for left, right in zip(serial, parallel):
+        assert left.record.row == right.record.row
+
+
+def test_records_are_lightweight_across_workers():
+    """Batch records must not drag state graphs across the boundary."""
+    items = runner(2).run(["half"])
+    record = items[0].record
+    assert record.mappings is None
+    assert record.context is None
+    assert record.stats["sg"] == 1

@@ -121,6 +121,29 @@ class TestAlgorithms:
         assert clone.initial == diamond_sg.initial
         assert clone.enabled("s0") == diamond_sg.enabled("s0")
 
+    def test_bfs_order_deterministic_and_complete(self, diamond_sg):
+        order = diamond_sg.bfs_order()
+        assert order[diamond_sg.initial] == 0
+        assert sorted(order.values()) == list(range(len(diamond_sg)))
+        assert diamond_sg.bfs_order() is order          # cached
+
+    def test_bfs_order_invalidated_by_mutation(self, diamond_sg):
+        order = diamond_sg.bfs_order()
+        diamond_sg.add_state("extra", vec(a=1, b=1))
+        diamond_sg.add_arc("st", "a-", "extra")
+        fresh = diamond_sg.bfs_order()
+        assert fresh is not order
+        assert "extra" in fresh
+
+    def test_bfs_order_shared_by_copy(self, diamond_sg):
+        order = diamond_sg.bfs_order()
+        clone = diamond_sg.copy()
+        assert clone.bfs_order() is order
+        # mutating the clone detaches only the clone's cache
+        clone.add_state("extra", vec(a=1, b=1))
+        assert clone.bfs_order() is not order
+        assert diamond_sg.bfs_order() is order
+
     def test_relabel_bfs_names(self, diamond_sg):
         renamed = diamond_sg.relabel()
         assert renamed.initial == "s0"

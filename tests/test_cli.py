@@ -96,3 +96,26 @@ b+/2 a+
 
     def test_map_local_ack_flag(self, g_file, capsys):
         assert main(["map", g_file, "--local-ack"]) == 0
+
+    def test_map_benchmark_name(self, capsys):
+        assert main(["map", "half", "-k", "2", "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "half" in out
+        assert "stage timings:" in out and "reach" in out
+
+    def test_map_solve_csc(self, tmp_path, capsys):
+        """CSC-violating input: the pipeline must solve CSC before the
+        synthesize stage (the raw graph is not even synthesizable)."""
+        from repro.stg.builders import marked_graph
+        from repro.stg.writer import write_g
+        arcs = [("r+", "ro1+"), ("ro1+", "ai1+"), ("ai1+", "ro1-"),
+                ("ro1-", "ai1-"), ("ai1-", "ro2+"), ("ro2+", "ai2+"),
+                ("ai2+", "ro2-"), ("ro2-", "ai2-"), ("ai2-", "a+"),
+                ("a+", "r-"), ("r-", "a-")]
+        stg = marked_graph("badseq", ["r", "ai1", "ai2"],
+                           ["a", "ro1", "ro2"], arcs, [("a-", "r+")])
+        path = tmp_path / "badseq.g"
+        path.write_text(write_g(stg))
+        assert main(["map", str(path), "--solve-csc"]) == 0
+        out = capsys.readouterr().out
+        assert "verification: OK" in out

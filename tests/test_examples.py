@@ -1,5 +1,6 @@
 """Smoke tests: every example script must run to completion."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -12,9 +13,14 @@ EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 def run_example(name: str, timeout: int = 600) -> str:
     script = EXAMPLES / name
     assert script.exists(), f"missing example {name}"
+    # The subprocess does not inherit pytest's `pythonpath` setting.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(EXAMPLES.parent / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
     proc = subprocess.run(
         [sys.executable, str(script)],
-        capture_output=True, text=True, timeout=timeout)
+        capture_output=True, text=True, timeout=timeout, env=env)
     assert proc.returncode == 0, proc.stderr[-2000:]
     return proc.stdout
 
@@ -34,6 +40,13 @@ def test_hazard_walkthrough():
 def test_custom_library():
     out = run_example("custom_library.py")
     assert "i = 2:" in out and "i = 4:" in out
+
+
+def test_parallel_suite():
+    out = run_example("parallel_suite.py")
+    assert "circuit" in out                      # the Table-1 header
+    assert "reach passes=1" in out               # shared artifacts
+    assert "FAILED" not in out
 
 
 @pytest.mark.slow
