@@ -53,6 +53,11 @@ def _cmd_map(args: argparse.Namespace) -> int:
     if args.timings:
         print("\nstage timings:")
         print(record.timing_summary())
+        resynthesized = record.stats.get("signals_resynthesized", 0)
+        reused = record.stats.get("signals_reused", 0)
+        skipped = record.stats.get("signals_skipped", 0)
+        print(f"resynthesis: {resynthesized} signals from scratch, "
+              f"{reused} reused, {skipped} skipped")
     if args.dot:
         with open(args.dot, "w", encoding="utf-8") as handle:
             handle.write(result.sg.to_dot())

@@ -14,7 +14,8 @@
 from repro.mapping.csc import CscResult, csc_conflicts, solve_csc
 from repro.mapping.partition import (IPartition, compute_insertion_sets,
                                      compute_insertion_sets_from_states)
-from repro.mapping.insertion import insert_signal
+from repro.mapping.insertion import (InsertionChanges, InsertionResult,
+                                     insert_signal)
 from repro.mapping.progress import (check_property_31, check_property_32,
                                     estimate_global_impact)
 from repro.mapping.cost import (cover_complexity, implementation_cost,
@@ -31,6 +32,8 @@ __all__ = [
     "csc_conflicts",
     "CscResult",
     "insert_signal",
+    "InsertionChanges",
+    "InsertionResult",
     "check_property_31",
     "check_property_32",
     "estimate_global_impact",

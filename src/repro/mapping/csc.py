@@ -154,7 +154,7 @@ def solve_csc(sg: StateGraph, max_signals: int = 8,
                 partition = compute_insertion_sets_from_states(
                     current, block)
                 candidate_sg = insert_signal(current, partition, name,
-                                             require_csc=False)
+                                             require_csc=False).sg
             except InsertionError:
                 continue
             remaining = csc_conflicts(candidate_sg)

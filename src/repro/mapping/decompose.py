@@ -27,7 +27,7 @@ implementable in the given library.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.boolean.divisors import algebraic_division, generate_divisors
@@ -43,7 +43,9 @@ from repro.sg.graph import StateGraph
 from repro.sg.properties import assert_implementable
 from repro.sg.regions import ExcitationRegion
 from repro.stg.stg import Stg
-from repro.synthesis.cover import (SignalImplementation,
+from repro.synthesis.cover import (ResynthesisStats,
+                                   SignalImplementation,
+                                   resynthesize_signal,
                                    synthesize_all, synthesize_signal)
 from repro.synthesis.library import GateLibrary
 from repro.synthesis.netlist import Netlist
@@ -62,26 +64,31 @@ class MapperConfig:
     global_acknowledgment: bool = True
     use_progress_filters: bool = True
     solve_csc: bool = False
+    #: resynthesize only the signals an insertion actually touched
+    #: (byte-identical results to the legacy full pass; False forces
+    #: the paper's "resynthesize everything from scratch")
+    incremental_resynthesis: bool = True
     signal_prefix: str = "x"
 
     def local_ack(self) -> "MapperConfig":
-        """A copy configured like the Siegel-style baseline."""
-        return MapperConfig(
-            max_iterations=self.max_iterations,
-            max_divisors=self.max_divisors,
-            max_insertion_trials=self.max_insertion_trials,
-            max_neutral_steps=self.max_neutral_steps,
-            max_regression=self.max_regression,
-            max_states=self.max_states,
-            global_acknowledgment=False,
-            solve_csc=self.solve_csc,
-            use_progress_filters=self.use_progress_filters,
-            signal_prefix=self.signal_prefix)
+        """A copy configured like the Siegel-style baseline.
+
+        Uses :func:`dataclasses.replace` so that newly added
+        configuration fields are carried over automatically — a
+        hand-copied field list would silently drop them.
+        """
+        return replace(self, global_acknowledgment=False)
 
 
 @dataclass
 class DecompositionStep:
-    """One accepted signal insertion."""
+    """One accepted signal insertion.
+
+    ``resynthesized`` / ``reused`` count how the accepted candidate's
+    synthesis was obtained: signals recomputed from scratch vs covers
+    carried over by incremental resynthesis (a legacy full pass counts
+    every signal as resynthesized).
+    """
 
     signal: str
     target: str              # "event/index" or "complete(signal)"
@@ -91,6 +98,19 @@ class DecompositionStep:
     potential_after: int
     states_before: int
     states_after: int
+    resynthesized: int = 0
+    reused: int = 0
+
+    def decision(self) -> Tuple:
+        """The mode-independent fields: what was inserted and why.
+
+        Incremental and full resynthesis must agree on these for every
+        step (the telemetry counters legitimately differ).
+        """
+        return (self.signal, self.target, self.divisor,
+                self.before_complexity, self.potential_before,
+                self.potential_after, self.states_before,
+                self.states_after)
 
 
 @dataclass
@@ -106,10 +126,27 @@ class MappingResult:
     netlist: Netlist
     initial_netlist: Netlist
     steps: List[DecompositionStep] = field(default_factory=list)
+    #: resynthesis work over *every* trial candidate (accepted or not):
+    #: signals synthesized from scratch, covers carried over, and
+    #: syntheses skipped because the candidate's rejection was proven
+    #: before they ran.
+    trial_resynthesized: int = 0
+    trial_reused: int = 0
+    trial_skipped: int = 0
 
     @property
     def inserted_signals(self) -> int:
         return len(self.steps)
+
+    @property
+    def signals_resynthesized(self) -> int:
+        """Signals synthesized from scratch across all accepted steps."""
+        return sum(step.resynthesized for step in self.steps)
+
+    @property
+    def signals_reused(self) -> int:
+        """Signals whose covers incremental resynthesis carried over."""
+        return sum(step.reused for step in self.steps)
 
     def summary(self) -> str:
         status = (f"{self.inserted_signals} signals inserted"
@@ -175,6 +212,7 @@ class TechnologyMapper:
         self._event_mass: Dict[Tuple[str, str], int] = {}
         self._neutral_streak = 0
         self._used_functions = {}
+        self._trial_stats = ResynthesisStats()
 
     # ------------------------------------------------------------------
     # Entry point
@@ -212,6 +250,7 @@ class TechnologyMapper:
         steps: List[DecompositionStep] = []
         self._neutral_streak = 0
         self._used_functions = {}
+        self._trial_stats = ResynthesisStats()
         message = "already fits the library"
 
         while True:
@@ -246,6 +285,9 @@ class TechnologyMapper:
             netlist=Netlist(sg.name, implementations),
             initial_netlist=initial_netlist,
             steps=steps,
+            trial_resynthesized=self._trial_stats.resynthesized,
+            trial_reused=self._trial_stats.reused,
+            trial_skipped=self._trial_stats.skipped,
         )
 
     # ------------------------------------------------------------------
@@ -283,7 +325,8 @@ class TechnologyMapper:
                     break
                 trials += 1
                 try:
-                    new_sg = insert_signal(sg, partition, signal_name)
+                    inserted = insert_signal(sg, partition, signal_name)
+                    new_sg = inserted.sg
                     if len(new_sg) > self.config.max_states:
                         continue
                     # Quick reject: the target signal itself must make
@@ -292,9 +335,16 @@ class TechnologyMapper:
                     target_impl = synthesize_signal(new_sg, unit.signal)
                     if not self._target_improved(unit, target_impl):
                         continue
-                    new_implementations = synthesize_all(new_sg)
+                    evaluated = self._evaluate_candidate(
+                        new_sg, implementations, inserted.changes,
+                        unit, target_impl, potential,
+                        best_neutral[4] if best_neutral is not None
+                        else None)
                 except (InsertionError, CoverError, CscViolation):
                     continue
+                if evaluated is None:
+                    continue      # rejection proven mid-resynthesis
+                new_implementations, resynth = evaluated
                 if not self._acknowledgment_ok(new_implementations,
                                                unit, signal_name):
                     continue
@@ -323,7 +373,8 @@ class TechnologyMapper:
                             and (best_neutral is None
                                  or new_potential < best_neutral[4])):
                         best_neutral = (new_sg, new_implementations,
-                                        function, unit, new_potential)
+                                        function, unit, new_potential,
+                                        resynth)
                     continue
                 self._neutral_streak = 0
                 self._used_functions[function] = signal_name
@@ -335,11 +386,13 @@ class TechnologyMapper:
                     potential_before=potential,
                     potential_after=new_potential,
                     states_before=len(sg),
-                    states_after=len(new_sg))
+                    states_after=len(new_sg),
+                    resynthesized=resynth.resynthesized,
+                    reused=resynth.reused)
                 return new_sg, new_implementations, record
         if best_neutral is not None:
             (new_sg, new_implementations, function, unit,
-             new_potential) = best_neutral
+             new_potential, resynth) = best_neutral
             self._used_functions[function] = signal_name
             self._neutral_streak += 1 + (new_potential - potential)
             record = DecompositionStep(
@@ -350,9 +403,118 @@ class TechnologyMapper:
                 potential_before=potential,
                 potential_after=new_potential,
                 states_before=len(sg),
-                states_after=len(new_sg))
+                states_after=len(new_sg),
+                resynthesized=resynth.resynthesized,
+                reused=resynth.reused)
             return new_sg, new_implementations, record
         return None
+
+    # ------------------------------------------------------------------
+    # Incremental candidate evaluation
+    # ------------------------------------------------------------------
+
+    def _evaluate_candidate(self, new_sg: StateGraph,
+                            old_implementations: Dict[str, SignalImplementation],
+                            changes, unit: _Unit,
+                            target_impl: SignalImplementation,
+                            potential: int, bn_potential: Optional[int]
+                            ) -> Optional[Tuple[Dict[str, SignalImplementation],
+                                                ResynthesisStats]]:
+        """Resynthesize a candidate insertion, stopping early when its
+        rejection is already certain.
+
+        The legacy path (``incremental_resynthesis=False``) runs
+        :func:`synthesize_all` unconditionally.  The incremental path
+        reaches the same accept/reject decisions with less work:
+
+        * signals untouched by the insertion carry their covers over to
+          the new code space instead of re-minimizing
+          (:func:`resynthesize_signal`);
+        * the oversize potential is a sum of non-negative per-signal
+          masses, so once the partial sum over the synthesized signals
+          exceeds every bound an acceptable (``< potential``) or
+          neutral-step candidate could still meet, the remaining
+          synthesis cannot change the verdict and is skipped.
+
+        Returns ``None`` when the candidate is rejected early, else
+        ``(implementations, stats)`` with the implementations dict
+        identical to a full :func:`synthesize_all` pass.
+        """
+        if not self.config.incremental_resynthesis:
+            implementations = synthesize_all(new_sg)
+            stats = ResynthesisStats(resynthesized=len(implementations))
+            self._trial_stats.add(stats)
+            return implementations, stats
+
+        k = self.library.max_literals
+        stats = ResynthesisStats(resynthesized=1)   # the quick-reject target
+        computed = {unit.signal: target_impl}
+        partial = self._oversize_mass(target_impl, k)
+        try:
+            for signal in self._evaluation_order(new_sg, unit,
+                                                 changes.signal):
+                if self._rejection_proven(partial, potential,
+                                          bn_potential):
+                    stats.skipped = len(new_sg.outputs) - len(computed)
+                    return None
+                impl, reused = resynthesize_signal(
+                    new_sg, signal, old_implementations.get(signal),
+                    changes)
+                computed[signal] = impl
+                if reused:
+                    stats.reused += 1
+                else:
+                    stats.resynthesized += 1
+                partial += self._oversize_mass(impl, k)
+        finally:
+            self._trial_stats.add(stats)
+        return {s: computed[s] for s in new_sg.outputs}, stats
+
+    def _evaluation_order(self, new_sg: StateGraph, unit: _Unit,
+                          new_signal: str) -> List[str]:
+        """Synthesis order for a candidate's remaining signals.
+
+        Any order yields the same decisions (the potential is a sum);
+        front-loading the signals most likely to carry oversize mass —
+        the inserted signal, then the previously heaviest signals —
+        makes the early abort trigger soonest.
+        """
+        mass: Dict[str, int] = {}
+        for (signal, _event), value in self._event_mass.items():
+            mass[signal] = mass.get(signal, 0) + value
+        rest = [s for s in new_sg.outputs
+                if s not in (unit.signal, new_signal)]
+        rest.sort(key=lambda s: (-mass.get(s, 0), s))
+        return [new_signal] + rest
+
+    def _rejection_proven(self, partial: int, potential: int,
+                          bn_potential: Optional[int]) -> bool:
+        """Is every outcome that keeps this candidate already ruled out?
+
+        ``partial`` is a lower bound on the candidate's final potential.
+        A strict-progress accept needs ``final < potential``; once that
+        is impossible, only the neutral-step fallback remains, which
+        needs the (potential-dependent) streak budget and must beat the
+        incumbent ``best_neutral``.
+        """
+        config = self.config
+        if partial > potential + config.max_regression:
+            return True
+        if partial < potential:
+            return False
+        cost = 1 + (partial - potential)    # lower bound of the streak cost
+        if self._neutral_streak + cost > config.max_neutral_steps:
+            return True
+        return bn_potential is not None and partial >= bn_potential
+
+    @staticmethod
+    def _oversize_mass(impl: SignalImplementation, k: int) -> int:
+        """One signal's contribution to the oversize potential (the
+        per-unit masses of :func:`_units_of` / :func:`_potential`)."""
+        if impl.is_combinational:
+            return max(0, (impl.complete_complexity or 0) - k)
+        return sum(max(0, rc.complexity - k)
+                   for rc in impl.region_covers)
 
     def _rank_divisors(self, sg: StateGraph, unit: _Unit,
                        units: List[_Unit],

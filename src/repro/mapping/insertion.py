@@ -22,7 +22,8 @@ depends on the growth heuristics in :mod:`repro.mapping.partition`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro._util import FrozenVector
 from repro.errors import InsertionError
@@ -31,12 +32,65 @@ from repro.sg.graph import State, StateGraph
 from repro.sg.properties import check_speed_independence
 
 
+@dataclass
+class InsertionChanges:
+    """What a signal insertion did to the state graph.
+
+    The summary is what incremental resynthesis consumes: a signal
+    whose excitation/quiescent zone avoids every split state (and sits
+    at a single level of the new signal per event) kept its covering
+    problem intact and can carry its covers over to the new code space;
+    everything else must be resynthesized.
+
+    ``split_states`` are the original states with *both* copies
+    reachable after pruning (the ER(x+) / ER(x-) states of the
+    partition, minus copies pruning removed); ``levels`` maps every
+    unsplit original state to the level of its single surviving copy.
+    """
+
+    signal: str
+    split_states: FrozenSet[State]
+    levels: Dict[State, int] = field(default_factory=dict)
+
+    def is_split(self, state: State) -> bool:
+        return state in self.split_states
+
+    def level_of(self, state: State) -> Optional[int]:
+        """Level of an unsplit state's single copy (None if split or
+        no copy survived pruning)."""
+        return self.levels.get(state)
+
+    def copy_of(self, state: State) -> State:
+        """New-graph identity of an unsplit state's single copy."""
+        return (state, self.levels[state])
+
+    def touches(self, states: Iterable[State]) -> bool:
+        """True iff any of the given original states was split."""
+        return any(state in self.split_states for state in states)
+
+    def __repr__(self) -> str:
+        return (f"InsertionChanges({self.signal!r}, "
+                f"split={len(self.split_states)}, "
+                f"unsplit={len(self.levels)})")
+
+
+@dataclass
+class InsertionResult:
+    """A signal insertion: the new state graph plus its change summary."""
+
+    sg: StateGraph
+    changes: InsertionChanges
+
+
 def insert_signal(sg: StateGraph, partition: IPartition, name: str,
                   verify: bool = True,
-                  require_csc: bool = True) -> StateGraph:
+                  require_csc: bool = True) -> InsertionResult:
     """Insert a new (internal output) signal according to the partition.
 
-    State identities in the result are ``(old_state, level)`` tuples.
+    State identities in the result graph are ``(old_state, level)``
+    tuples; the returned :class:`InsertionResult` pairs the graph with
+    the :class:`InsertionChanges` summary that incremental resynthesis
+    consumes.
     """
     if name in sg.signals:
         raise InsertionError(f"signal name {name!r} already in use")
@@ -76,7 +130,16 @@ def insert_signal(sg: StateGraph, partition: IPartition, name: str,
 
     if verify:
         verify_insertion(sg, new_sg, name, require_csc=require_csc)
-    return new_sg
+
+    surviving: Dict[State, List[int]] = {}
+    for original, level in new_sg.states:
+        surviving.setdefault(original, []).append(level)
+    split = frozenset(s for s, levels in surviving.items()
+                      if len(levels) > 1)
+    levels = {s: levels[0] for s, levels in surviving.items()
+              if len(levels) == 1}
+    return InsertionResult(new_sg,
+                           InsertionChanges(name, split, levels))
 
 
 def verify_insertion(old_sg: StateGraph, new_sg: StateGraph,

@@ -29,11 +29,17 @@ class ArtifactCache:
     are whatever the compute thunk returns.  Artifacts are treated as
     immutable by convention — consumers that need to mutate a state
     graph must copy it (the mapper already does).
+
+    Concurrent requests for the same key are serialized through a
+    per-key in-flight event: exactly one caller computes, the others
+    block until the value lands and then read it as a hit.  (The old
+    lost-race policy recomputed the artifact *and* counted a hit.)
     """
 
     def __init__(self) -> None:
         self._store: Dict[Hashable, Any] = {}
         self._lock = threading.Lock()
+        self._inflight: Dict[Hashable, threading.Event] = {}
         self.hits = 0
         self.misses = 0
 
@@ -47,17 +53,36 @@ class ArtifactCache:
     def get_or_compute(self, key: Hashable,
                        compute: Callable[[], Any]) -> Any:
         """Return the cached artifact for ``key``, computing on miss."""
-        with self._lock:
-            if key in self._store:
-                self.hits += 1
-                return self._store[key]
-        value = compute()
-        with self._lock:
-            if key in self._store:          # lost a race: keep the first
-                self.hits += 1
-                return self._store[key]
-            self.misses += 1
-            self._store[key] = value
+        while True:
+            with self._lock:
+                if key in self._store:
+                    self.hits += 1
+                    return self._store[key]
+                pending = self._inflight.get(key)
+                if pending is None:
+                    pending = self._inflight[key] = threading.Event()
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                # Another thread is computing this key: wait for it,
+                # then re-check the store (it is absent again only if
+                # the owner's compute raised, in which case we retry
+                # the computation ourselves).
+                pending.wait()
+                continue
+            try:
+                value = compute()
+            except BaseException:
+                with self._lock:
+                    del self._inflight[key]
+                pending.set()
+                raise
+            with self._lock:
+                self.misses += 1
+                self._store[key] = value
+                del self._inflight[key]
+            pending.set()
             return value
 
     def clear(self) -> None:

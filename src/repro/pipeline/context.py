@@ -59,6 +59,15 @@ class SynthesisContext:
         #: ``stats["sg"] == 1`` no matter how many mappings ran.
         self.stats: Dict[str, int] = {kind: 0 for kind in ARTIFACTS}
         self.stats["stg"] = 1
+        #: incremental-resynthesis telemetry, accumulated over every
+        #: mapping computed through this context: how many signal
+        #: syntheses ran from scratch across all trial candidates, how
+        #: many covers were carried over unchanged, and how many
+        #: syntheses were skipped outright because the candidate's
+        #: rejection was proven first.
+        self.stats["signals_resynthesized"] = 0
+        self.stats["signals_reused"] = 0
+        self.stats["signals_skipped"] = 0
 
     # ------------------------------------------------------------------
     # Constructors
@@ -195,7 +204,13 @@ class SynthesisContext:
                 run_config = run_config.local_ack()
             sg = self.csc_state_graph() if csc else self.state_graph()
             mapper = TechnologyMapper(GateLibrary(literals), run_config)
-            return mapper.map(sg, implementations=self.implementations(csc))
+            result = mapper.map(sg,
+                                implementations=self.implementations(csc))
+            self.stats["signals_resynthesized"] += (
+                result.trial_resynthesized)
+            self.stats["signals_reused"] += result.trial_reused
+            self.stats["signals_skipped"] += result.trial_skipped
+            return result
 
         return self._artifact(
             "map", (literals, mode, _config_key(base)), compute)

@@ -11,9 +11,11 @@
 from repro.synthesis.library import Gate, GateLibrary
 from repro.synthesis.cover import (
     RegionCover,
+    ResynthesisStats,
     SignalImplementation,
     complete_cover,
     monotonous_cover,
+    resynthesize_incremental,
     synthesize_all,
     synthesize_signal,
 )
@@ -23,11 +25,13 @@ __all__ = [
     "Gate",
     "GateLibrary",
     "RegionCover",
+    "ResynthesisStats",
     "SignalImplementation",
     "monotonous_cover",
     "complete_cover",
     "synthesize_signal",
     "synthesize_all",
+    "resynthesize_incremental",
     "Netlist",
     "NetlistStats",
 ]

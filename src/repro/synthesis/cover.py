@@ -32,7 +32,7 @@ implemented combinationally and the C element degenerates to a wire
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro._util import FrozenVector
 from repro.boolean.minimize import minimize
@@ -51,12 +51,20 @@ class RegionCover:
 
     ``regions`` usually holds a single region; it holds several when
     code sharing forced a generalized (merged) cover.
+
+    ``quiescent`` is the group's *restricted* quiescent region (sibling
+    closures subtracted); ``closure`` is the unrestricted union of the
+    group's stable closures.  Incremental resynthesis needs the latter:
+    the dirtiness test must see every state whose code participates in
+    the cover's covering conditions, including states the restriction
+    removed from ``quiescent``.
     """
 
     regions: Tuple[ExcitationRegion, ...]
     cover: SopCover
     complement: SopCover
     quiescent: Set[State] = field(default_factory=set)
+    closure: Set[State] = field(default_factory=set)
 
     @property
     def region(self) -> ExcitationRegion:
@@ -135,22 +143,28 @@ def _group_regions(sg: StateGraph,
 
 
 def _group_quiescent(sg: StateGraph, group: Sequence[ExcitationRegion],
-                     others: Sequence[ExcitationRegion]) -> Set[State]:
-    """Restricted quiescent region of a region group: the union of the
-    group's stable closures minus the closures of non-group siblings."""
-    mine: Set[State] = set()
+                     others: Sequence[ExcitationRegion]
+                     ) -> Tuple[Set[State], Set[State]]:
+    """Quiescent regions of a region group.
+
+    Returns ``(restricted, closure)``: the union of the group's stable
+    closures minus the closures of non-group siblings, and the
+    unrestricted union itself.
+    """
+    closure: Set[State] = set()
     for region in group:
-        mine |= _stable_closure(sg, region)
+        closure |= _stable_closure(sg, region)
+    restricted = set(closure)
     for region in others:
-        mine -= _stable_closure(sg, region)
-    return mine
+        restricted -= _stable_closure(sg, region)
+    return restricted, closure
 
 
 def _synthesize_group(sg: StateGraph, group: Sequence[ExcitationRegion],
                       others: Sequence[ExcitationRegion],
                       support: Optional[Sequence[str]] = None) -> RegionCover:
     support = list(support) if support is not None else list(sg.signals)
-    quiescent = _group_quiescent(sg, group, others)
+    quiescent, closure = _group_quiescent(sg, group, others)
     er_states: Set[State] = set()
     for region in group:
         er_states |= region.states
@@ -159,16 +173,19 @@ def _synthesize_group(sg: StateGraph, group: Sequence[ExcitationRegion],
     off_vectors = set(vectors_of(
         sg, [s for s in sg.states if s not in inside]))
 
+    ordered_quiescent = sorted(quiescent, key=repr)
     for _ in range(len(sg.states) + 1):
         cover = minimize(on_vectors,
                          sorted(off_vectors, key=lambda v: v.items()),
                          support)
-        violation = _monotonicity_violation(sg, cover, quiescent)
+        violation = _monotonicity_violation(sg, cover, quiescent,
+                                            ordered_quiescent)
         if violation is None:
             complement = minimize(
                 sorted(off_vectors, key=lambda v: v.items()),
                 on_vectors, support)
-            return RegionCover(tuple(group), cover, complement, quiescent)
+            return RegionCover(tuple(group), cover, complement,
+                               quiescent, closure)
         off_vectors.add(violation)
     event = group[0].event
     raise CoverError(
@@ -206,10 +223,22 @@ def synthesize_event_covers(sg: StateGraph, event: str,
 
 
 def _monotonicity_violation(sg: StateGraph, cover: SopCover,
-                            quiescent: Set[State]) -> Optional[FrozenVector]:
+                            quiescent: Set[State],
+                            ordered: Optional[Sequence[State]] = None
+                            ) -> Optional[FrozenVector]:
     """First quiescent state whose cover value *rises* along an arc
-    inside the quiescent region; its code must be forced OFF."""
-    for state in quiescent:
+    inside the quiescent region; its code must be forced OFF.
+
+    States are visited in sorted (repr) order: iterating the raw set
+    would make the first forced-OFF state — and hence the repaired
+    cover — depend on hash order, which varies across interpreter runs
+    for string-bearing state identities.  Callers that probe repeatedly
+    (the repair loop) pass the pre-sorted ``ordered`` sequence to avoid
+    re-sorting per iteration.
+    """
+    if ordered is None:
+        ordered = sorted(quiescent, key=repr)
+    for state in ordered:
         if cover.evaluate(sg.code(state)):
             continue
         for _, target in sg.successors(state):
@@ -292,11 +321,33 @@ class SignalImplementation:
         """
         if self.is_combinational:
             return self.complete_complexity or 0
-        return max(rc.complexity for rc in self.region_covers)
+        return max((rc.complexity for rc in self.region_covers),
+                   default=0)
 
     def __repr__(self) -> str:
         kind = "comb" if self.is_combinational else "seqC"
         return f"SignalImplementation({self.signal}, {kind})"
+
+
+def _choose_combinational(complete: Optional[SopCover],
+                          complement: Optional[SopCover],
+                          region_covers: Sequence[RegionCover]) -> bool:
+    """The architecture choice of §2: collapse the C element when the
+    single complete-cover gate is no worse than the standard-C network
+    it replaces, both in the worst gate (what the library must fit) and
+    in total literals."""
+    if complete is None:
+        return False
+    complete_cost = min(complete.literal_count(),
+                        complement.literal_count())
+    # A constant (never-switching) output has a complete cover but no
+    # region covers at all; max() over the empty sequence must not
+    # crash — the signal degenerates to a combinational wire.
+    sequential_worst = max((rc.complexity for rc in region_covers),
+                           default=0)
+    sequential_total = sum(rc.complexity for rc in region_covers)
+    return (complete_cost <= max(2, sequential_worst)
+            and complete_cost <= sequential_total)
 
 
 def synthesize_signal(sg: StateGraph, signal: str) -> SignalImplementation:
@@ -308,19 +359,8 @@ def synthesize_signal(sg: StateGraph, signal: str) -> SignalImplementation:
     reset_covers = synthesize_event_covers(sg, signal + "-")
     pair = complete_cover(sg, signal)
     complete, complement = pair if pair is not None else (None, None)
-    combinational = False
-    if complete is not None:
-        complete_cost = min(complete.literal_count(),
-                            complement.literal_count())
-        sequential_worst = max(rc.complexity
-                               for rc in set_covers + reset_covers)
-        sequential_total = sum(rc.complexity
-                               for rc in set_covers + reset_covers)
-        # Collapse the C element when the single complete-cover gate is
-        # no worse than the standard-C network it replaces, both in the
-        # worst gate (what the library must fit) and in total literals.
-        combinational = (complete_cost <= max(2, sequential_worst)
-                         and complete_cost <= sequential_total)
+    combinational = _choose_combinational(complete, complement,
+                                          set_covers + reset_covers)
     return SignalImplementation(signal, set_covers, reset_covers,
                                 complete, complement,
                                 combinational=combinational)
@@ -330,3 +370,216 @@ def synthesize_all(sg: StateGraph) -> Dict[str, SignalImplementation]:
     """Synthesize every output signal of the state graph."""
     return {signal: synthesize_signal(sg, signal)
             for signal in sg.outputs}
+
+
+# ----------------------------------------------------------------------
+# Incremental resynthesis after a signal insertion
+# ----------------------------------------------------------------------
+#
+# A signal insertion by state splitting (repro.mapping.insertion) only
+# perturbs the covering conditions of the signals whose excitation /
+# quiescent zones intersect the split states: the conditions are
+# per-region [Kondratyev et al., DAC'94], and a region zone that avoids
+# every split state maps one-to-one onto copies of itself in the new
+# graph (arc replication preserves every arc between unsplit states of
+# the same half-space).  Such a signal's covers remain word-for-word
+# valid — only the *state identities* they reference must be carried
+# into the new ``(state, level)`` code space.  Everything else — the
+# inserted signal itself and every signal whose zone was split or whose
+# zone spans both levels of the new signal (which could re-partition the
+# generalized-cover groups) — is resynthesized from scratch, exactly as
+# the legacy full pass would.
+
+
+@dataclass
+class ResynthesisStats:
+    """Telemetry of one incremental resynthesis pass.
+
+    ``skipped`` counts signals whose synthesis never ran because the
+    consumer proved the surrounding candidate's rejection first (the
+    mapper's early-abort trial evaluation).
+    """
+
+    resynthesized: int = 0
+    reused: int = 0
+    skipped: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.resynthesized + self.reused
+
+    def add(self, other: "ResynthesisStats") -> None:
+        self.resynthesized += other.resynthesized
+        self.reused += other.reused
+        self.skipped += other.skipped
+
+    def __repr__(self) -> str:
+        return (f"ResynthesisStats(resynthesized={self.resynthesized}, "
+                f"reused={self.reused}, skipped={self.skipped})")
+
+
+def _cover_reusable(rc: RegionCover, changes) -> bool:
+    """Did the insertion leave this cover's covering conditions intact?
+
+    Requires every state of the cover's zone (ER states plus the
+    unrestricted stable closure) to be unsplit *and* the whole zone to
+    sit at a single level of the new signal: split zone states change
+    the region / quiescent structure outright, and a zone spanning both
+    levels can dissolve the code-sharing relations that grouped regions
+    into generalized covers.
+
+    The criterion is structural and conservative, but equality with a
+    from-scratch pass is not *implied* by it: a fresh minimize() runs
+    with the inserted signal in its support and could, in principle,
+    exploit it to find a different cover for an event classified as
+    untouched here.  The equivalence contract is therefore enforced by
+    regression — ``tests/mapping/test_incremental_mapping.py`` and
+    ``benchmarks/test_incremental_identity.py`` assert identical steps,
+    netlists and report rows against the legacy pass across the
+    benchmark suite.
+    """
+    levels: Set[int] = set()
+    for state in rc.states | rc.closure:
+        level = changes.levels.get(state)
+        if level is None:          # split, or no copy survived pruning
+            return False
+        levels.add(level)
+    return len(levels) <= 1
+
+
+def _extend_event_covers(sg: StateGraph, event: str,
+                         old_covers: Sequence[RegionCover],
+                         changes) -> Optional[List[RegionCover]]:
+    """Carry one event's covers into the new code space.
+
+    The excitation regions are recomputed on the new graph (their
+    indices follow the new BFS numbering) and matched to the old ones
+    by their underlying original states; the expensive minimized covers
+    are reused as-is.  Returns ``None`` when the new region structure
+    does not correspond one-to-one to the old — the caller then falls
+    back to full resynthesis of the signal.
+    """
+    new_regions = excitation_regions(sg, event)
+    if len(new_regions) != sum(len(rc.regions) for rc in old_covers):
+        return None
+    by_base: Dict[FrozenSet[State], ExcitationRegion] = {}
+    for region in new_regions:
+        try:
+            base = frozenset(s for s, _ in region.states)
+        except (TypeError, ValueError):
+            return None
+        by_base[base] = region
+    if len(by_base) != len(new_regions):
+        return None
+
+    extended: List[RegionCover] = []
+    for rc in old_covers:
+        mapped = []
+        for region in rc.regions:
+            counterpart = by_base.get(region.states)
+            if counterpart is None:
+                return None
+            mapped.append(counterpart)
+        mapped.sort(key=lambda r: r.index)
+        try:
+            quiescent = {(s, changes.levels[s]) for s in rc.quiescent}
+            closure = {(s, changes.levels[s]) for s in rc.closure}
+        except KeyError:
+            return None
+        extended.append(RegionCover(tuple(mapped), rc.cover,
+                                    rc.complement, quiescent, closure))
+    extended.sort(key=lambda rc: rc.regions[0].index)
+    return extended
+
+
+def _reuse_event_covers(sg: StateGraph, event: str,
+                        old_covers: Sequence[RegionCover],
+                        changes) -> Optional[List[RegionCover]]:
+    """The extended covers of one event, or None when any of its
+    groups was touched by the insertion (→ resynthesize the event)."""
+    if not old_covers:
+        return None
+    if not all(_cover_reusable(rc, changes) for rc in old_covers):
+        return None
+    return _extend_event_covers(sg, event, old_covers, changes)
+
+
+def resynthesize_signal(sg: StateGraph, signal: str,
+                        old: Optional[SignalImplementation],
+                        changes) -> Tuple[SignalImplementation, bool]:
+    """One signal of the post-insertion graph: reuse what the insertion
+    left intact, resynthesize the rest.
+
+    Reuse is decided per *event* (the covering conditions are
+    per-region, so a split inside the reset phase does not invalidate
+    the set covers).  The complete cover ranges over every state of the
+    graph — an insertion always reshapes its ON/OFF sets — so it is
+    recomputed whenever anything is reused.  Returns
+    ``(implementation, reused)`` with ``reused`` True when at least one
+    event family was carried over instead of re-minimized.
+    """
+    if old is None:
+        return synthesize_signal(sg, signal), False
+    set_ext = _reuse_event_covers(sg, signal + "+", old.set_covers,
+                                  changes)
+    reset_ext = _reuse_event_covers(sg, signal + "-", old.reset_covers,
+                                    changes)
+    if set_ext is None and reset_ext is None:
+        return synthesize_signal(sg, signal), False
+    set_covers = (set_ext if set_ext is not None
+                  else synthesize_event_covers(sg, signal + "+"))
+    reset_covers = (reset_ext if reset_ext is not None
+                    else synthesize_event_covers(sg, signal + "-"))
+    pair = complete_cover(sg, signal)
+    complete, complement = pair if pair is not None else (None, None)
+    combinational = _choose_combinational(complete, complement,
+                                          set_covers + reset_covers)
+    return SignalImplementation(signal, set_covers, reset_covers,
+                                complete, complement,
+                                combinational=combinational), True
+
+
+def resynthesize_incremental(
+        sg: StateGraph,
+        old_implementations: Dict[str, SignalImplementation],
+        changes,
+        precomputed: Optional[Dict[str, SignalImplementation]] = None,
+) -> Tuple[Dict[str, SignalImplementation], ResynthesisStats]:
+    """Resynthesize a state graph after a signal insertion.
+
+    ``old_implementations`` are the covers of the *pre-insertion* graph
+    and ``changes`` the :class:`~repro.mapping.insertion.
+    InsertionChanges` summary of the insertion that produced ``sg``.
+    Signals untouched by the insertion keep their minimized covers
+    (extended to the new code space); dirty signals — and the inserted
+    signal itself — run through :func:`synthesize_signal` exactly as a
+    full pass would.  ``precomputed`` may carry implementations already
+    synthesized *on this graph* (the mapper's quick-reject target).
+
+    Returns ``(implementations, stats)`` where the implementations dict
+    matches :func:`synthesize_all` on the same graph and ``stats``
+    counts reused vs resynthesized signals.
+
+    This is the batch entry point; the mapper's trial evaluation
+    (``TechnologyMapper._evaluate_candidate``) runs the same
+    :func:`resynthesize_signal` primitive one signal at a time so it
+    can abort mid-pass — changes to the reuse policy belong in
+    :func:`resynthesize_signal`, where both consumers pick them up.
+    """
+    precomputed = precomputed or {}
+    stats = ResynthesisStats()
+    implementations: Dict[str, SignalImplementation] = {}
+    for signal in sg.outputs:
+        ready = precomputed.get(signal)
+        if ready is not None:
+            implementations[signal] = ready
+            stats.resynthesized += 1
+            continue
+        impl, reused = resynthesize_signal(
+            sg, signal, old_implementations.get(signal), changes)
+        implementations[signal] = impl
+        if reused:
+            stats.reused += 1
+        else:
+            stats.resynthesized += 1
+    return implementations, stats

@@ -118,7 +118,7 @@ def _verify_monotonous_covers(sg: StateGraph,
                 group.append(fresh)
             others = [r for r in regions
                       if r.index not in {g.index for g in group}]
-            quiescent = _group_quiescent(sg, group, others)
+            quiescent, _ = _group_quiescent(sg, group, others)
             er_states = {s for region in group for s in region.states}
             inside = er_states | quiescent
             label = f"{event}/{group[0].index}"

@@ -1,0 +1,106 @@
+"""The mapping loop with incremental resynthesis: identical decisions
+and netlists to the legacy full pass, plus the telemetry contract."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench_suite import benchmark
+from repro.mapping.decompose import MapperConfig, map_circuit
+from repro.synthesis.library import GateLibrary
+
+#: small enough for tier-1, large enough that trials are rejected and
+#: (for the join circuits) covers are carried over
+FAST = ["half", "hazard", "chu133", "seq_mix", "trimos-send"]
+
+
+def _map(name, incremental, literals=2):
+    return map_circuit(benchmark(name), GateLibrary(literals),
+                       MapperConfig(incremental_resynthesis=incremental))
+
+
+class TestIdenticalToFullResynthesis:
+    @pytest.mark.parametrize("name", FAST)
+    def test_steps_potentials_netlists_identical(self, name):
+        full = _map(name, incremental=False)
+        incremental = _map(name, incremental=True)
+        assert ([s.decision() for s in incremental.steps]
+                == [s.decision() for s in full.steps])
+        assert incremental.success == full.success
+        assert incremental.message == full.message
+        assert incremental.netlist.pretty() == full.netlist.pretty()
+        assert (incremental.initial_netlist.pretty()
+                == full.initial_netlist.pretty())
+
+    def test_local_mode_identical(self):
+        full = map_circuit(
+            benchmark("hazard"), GateLibrary(2),
+            MapperConfig(incremental_resynthesis=False).local_ack())
+        incremental = map_circuit(
+            benchmark("hazard"), GateLibrary(2),
+            MapperConfig(incremental_resynthesis=True).local_ack())
+        assert ([s.decision() for s in incremental.steps]
+                == [s.decision() for s in full.steps])
+        assert incremental.netlist.pretty() == full.netlist.pretty()
+
+
+class TestTelemetry:
+    def test_early_abort_skips_rejected_candidates(self):
+        result = _map("trimos-send", incremental=True)
+        assert result.success
+        assert result.trial_skipped > 0
+        assert result.trial_resynthesized > 0
+
+    def test_legacy_mode_never_skips_or_reuses(self):
+        result = _map("trimos-send", incremental=False)
+        assert result.trial_skipped == 0
+        assert result.trial_reused == 0
+        assert result.trial_resynthesized > 0
+
+    def test_step_counters_cover_all_outputs(self):
+        result = _map("hazard", incremental=True)
+        for step in result.steps:
+            assert step.resynthesized + step.reused > 0
+        assert (result.signals_resynthesized + result.signals_reused
+                == sum(s.resynthesized + s.reused for s in result.steps))
+
+
+class TestConfig:
+    def test_local_ack_carries_every_field(self):
+        """Regression: the hand-copied field list silently dropped new
+        config fields; dataclasses.replace must carry them all."""
+        config = MapperConfig(incremental_resynthesis=False,
+                              max_divisors=7, signal_prefix="q")
+        local = config.local_ack()
+        assert local.global_acknowledgment is False
+        assert local.incremental_resynthesis is False
+        assert local.max_divisors == 7
+        assert local.signal_prefix == "q"
+
+
+class TestDeterminism:
+    def test_netlist_stable_across_hash_seeds(self):
+        """Regression: monotonicity repair used to iterate a raw set of
+        quiescent states, making the repaired cover depend on the
+        interpreter's hash seed."""
+        script = (
+            "from repro.bench_suite import benchmark\n"
+            "from repro.mapping.decompose import map_circuit\n"
+            "from repro.synthesis.library import GateLibrary\n"
+            "r = map_circuit(benchmark('hazard'), GateLibrary(2))\n"
+            "print(r.netlist.pretty())\n"
+        )
+        outputs = set()
+        for seed in ("0", "1", "424242"):
+            src = os.path.join(os.path.dirname(__file__), "..", "..",
+                               "src")
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, timeout=300,
+                env={"PYTHONPATH": os.path.abspath(src),
+                     "PYTHONHASHSEED": seed})
+            assert proc.returncode == 0, proc.stderr
+            outputs.add(proc.stdout)
+        assert len(outputs) == 1

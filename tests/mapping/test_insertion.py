@@ -17,7 +17,7 @@ def cover(text):
 @pytest.fixture
 def inserted(celement_sg):
     partition = compute_insertion_sets(celement_sg, cover("a b"))
-    new_sg = insert_signal(celement_sg, partition, "x")
+    new_sg = insert_signal(celement_sg, partition, "x").sg
     return celement_sg, new_sg, partition
 
 
