@@ -9,7 +9,12 @@ regenerates the paper's tables and figures in bounded time:
   (circuit, library, mode)) are shared through one
   :class:`repro.pipeline.SynthesisContext` per circuit backed by a
   harness-wide :class:`repro.pipeline.ArtifactCache`, so the several
-  Table-1 benchmarks do not redo each other's work.
+  Table-1 benchmarks do not redo each other's work;
+* ``SI_MAPPER_CACHE=DIR`` additionally backs that cache with the
+  persistent :class:`repro.pipeline.DiskArtifactCache` at ``DIR`` —
+  a second harness run then warm-starts every reach/synthesize/map
+  stage from disk.  Cache telemetry (memory hits, disk hits, bytes)
+  is printed at the end of the session either way.
 """
 
 import os
@@ -19,7 +24,8 @@ import pytest
 
 from repro.bench_suite import benchmark_names
 from repro.mapping.decompose import MappingResult
-from repro.pipeline import ArtifactCache, SynthesisContext
+from repro.pipeline import (ArtifactCache, DiskArtifactCache,
+                            SynthesisContext)
 
 # Circuits that exercise every regime (small classics, mid-size
 # controllers, high-fanin joins, one of the hard input-dominated ones)
@@ -30,8 +36,23 @@ SUBSET = [
     "seq_mix", "trimos-send", "mr1", "wrdatab", "vbe10b",
 ]
 
-_CACHE = ArtifactCache()
+_CACHE_DIR = os.environ.get("SI_MAPPER_CACHE")
+_CACHE = ArtifactCache(
+    disk=DiskArtifactCache(_CACHE_DIR) if _CACHE_DIR else None)
 _CONTEXTS: Dict[str, SynthesisContext] = {}
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Surface harness-wide cache telemetry in the benchmark output."""
+    telemetry = _CACHE.telemetry()
+    terminalreporter.write_line(
+        f"artifact cache: {len(_CACHE)} entries, "
+        f"{telemetry['cache_hits']} memory hits, "
+        f"{telemetry['disk_hits']} disk hits, "
+        f"{telemetry['cache_misses']} computed, "
+        f"{telemetry['disk_bytes_read']} bytes read, "
+        f"{telemetry['disk_bytes_written']} bytes written"
+        + (f" (store: {_CACHE_DIR})" if _CACHE_DIR else ""))
 
 
 def selected_names():

@@ -10,7 +10,14 @@ Demonstrates the three layers of :mod:`repro.pipeline`:
 * inside one circuit, the k = 2/3 battery plus the baseline share a
   single reachability pass and a single initial synthesis via the
   content-keyed artifact cache.
+
+Pass a directory as the first argument (or set ``SI_MAPPER_CACHE``) to
+back the cache with the persistent on-disk store: a second run of this
+example then warm-starts every worker and computes nothing heavy.
 """
+
+import os
+import sys
 
 from repro.pipeline import BatchRunner, PipelineConfig
 from repro.report import format_rows
@@ -19,7 +26,10 @@ SUITE = ["half", "hazard", "chu133", "converta", "dff"]
 
 
 def main() -> None:
-    config = PipelineConfig(libraries=(2, 3), with_siegel=True)
+    cache_dir = (sys.argv[1] if len(sys.argv) > 1
+                 else os.environ.get("SI_MAPPER_CACHE"))
+    config = PipelineConfig(libraries=(2, 3), with_siegel=True,
+                            cache_dir=cache_dir)
     runner = BatchRunner(config, jobs=4)
     items = runner.run(SUITE, progress=lambda name: print(f"... {name}"))
 
@@ -36,7 +46,8 @@ def main() -> None:
         print(f"{item.name:>10}: reach passes="
               f"{record.stats['sg']}, initial syntheses="
               f"{record.stats['implementations']}, mappings="
-              f"{record.stats['map']}  [{stages}]")
+              f"{record.stats['map']}, disk hits="
+              f"{record.stats.get('disk_hits', 0)}  [{stages}]")
 
 
 if __name__ == "__main__":

@@ -473,8 +473,9 @@ def benchmark_names() -> List[str]:
 def benchmark(name: str) -> Stg:
     """Build (and cache) one benchmark STG by Table-1 name."""
     if name not in _REGISTRY:
-        raise KeyError(f"unknown benchmark {name!r}; see "
-                       "benchmark_names()")
+        from repro.errors import UnknownBenchmarkError
+        raise UnknownBenchmarkError(f"unknown benchmark {name!r}; see "
+                                    "benchmark_names()")
     if name not in _CACHE:
         _CACHE[name] = _REGISTRY[name]()
     return _CACHE[name].copy(name)

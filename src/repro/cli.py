@@ -10,24 +10,47 @@ Sub-commands:
   (part of) Table 1 on the built-in benchmark suite, fanning circuits
   out over worker processes;
 * ``si-mapper bench-list`` — list the benchmark suite;
-* ``si-mapper show NAME`` — print a built-in benchmark as ``.g``.
+* ``si-mapper show NAME`` — print a built-in benchmark as ``.g``;
+* ``si-mapper cache stats|gc|clear`` — inspect or maintain the
+  persistent artifact store.
 
 Every command runs through :mod:`repro.pipeline`, so repeated stages
-(reachability, initial synthesis) are computed once per circuit.
+(reachability, initial synthesis) are computed once per circuit.  With
+``--cache-dir DIR`` (or the ``SI_MAPPER_CACHE`` environment variable)
+they are computed once *ever*: artifacts persist in an on-disk store
+and later runs — including parallel ``report`` workers — warm-start
+from it.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.bench_suite import benchmark, benchmark_names
 from repro.errors import ReproError
 from repro.mapping.decompose import MapperConfig
-from repro.pipeline import Pipeline, PipelineConfig, SynthesisContext
+from repro.pipeline import (ArtifactCache, DiskArtifactCache, Pipeline,
+                            PipelineConfig, SynthesisContext)
 from repro.stg.writer import write_g
 from repro.synthesis.library import GateLibrary
+
+#: environment fallback for ``--cache-dir``
+CACHE_ENV = "SI_MAPPER_CACHE"
+
+
+def _cache_dir_of(args: argparse.Namespace) -> Optional[str]:
+    """The persistent store location: flag first, then environment."""
+    return getattr(args, "cache_dir", None) or os.environ.get(CACHE_ENV)
+
+
+def _cache_of(args: argparse.Namespace) -> Optional[ArtifactCache]:
+    directory = _cache_dir_of(args)
+    if directory is None:
+        return None
+    return ArtifactCache(disk=DiskArtifactCache(directory))
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
@@ -37,7 +60,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
         local_mode=args.local_ack,
         mapper=MapperConfig(solve_csc=args.solve_csc),
         verify=args.verify,
-        keep_artifacts=True)
+        keep_artifacts=True,
+        cache_dir=_cache_dir_of(args))
     record = Pipeline(config).run(args.circuit)
     mode = "local" if args.local_ack else "global"
     result = record.mappings[(args.literals, mode)]
@@ -58,6 +82,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
         skipped = record.stats.get("signals_skipped", 0)
         print(f"resynthesis: {resynthesized} signals from scratch, "
               f"{reused} reused, {skipped} skipped")
+        print(record.cache_summary())
+        print(record.artifact_summary())
     if args.dot:
         with open(args.dot, "w", encoding="utf-8") as handle:
             handle.write(result.sg.to_dot())
@@ -78,7 +104,9 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    context = SynthesisContext.from_file(args.circuit)
+    # ``of`` resolves benchmark names as well as paths, exactly like
+    # ``si-mapper map``.
+    context = SynthesisContext.of(args.circuit, cache=_cache_of(args))
     stg = context.stg
     from repro.stg.analysis import structural_report
     structure = structural_report(stg)
@@ -106,10 +134,31 @@ def _cmd_report(args: argparse.Namespace) -> int:
     names = args.names or None
     rows, text = table1(names, libraries=tuple(args.literals),
                         with_siegel=not args.no_siegel,
-                        progress=True, jobs=args.jobs)
+                        progress=True, jobs=args.jobs,
+                        cache_dir=_cache_dir_of(args))
     print(text)
     expected = args.names or benchmark_names()
     return 0 if len(rows) == len(expected) else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    directory = _cache_dir_of(args)
+    if directory is None:
+        print("error: no cache directory (use --cache-dir or set "
+              f"${CACHE_ENV})", file=sys.stderr)
+        return 2
+    store = DiskArtifactCache(directory)
+    if args.action == "stats":
+        print(store.report().pretty())
+    elif args.action == "gc":
+        max_age = (args.max_age_days * 86400.0
+                   if args.max_age_days is not None else None)
+        removed, freed = store.gc(max_age_seconds=max_age)
+        print(f"gc: removed {removed} entries, freed {freed} bytes")
+    else:  # clear
+        removed, freed = store.clear()
+        print(f"clear: removed {removed} entries, freed {freed} bytes")
+    return 0
 
 
 def _cmd_bench_list(args: argparse.Namespace) -> int:
@@ -132,7 +181,16 @@ def build_parser() -> argparse.ArgumentParser:
                     "(Cortadella et al., DATE 1997 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_map = sub.add_parser("map", help="map an STG into a library")
+    # shared by every sub-command: the persistent artifact store
+    caching = argparse.ArgumentParser(add_help=False)
+    caching.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persist expensive artifacts (state "
+                              "graphs, syntheses, mappings) under DIR "
+                              "and warm-start from them (default: "
+                              f"${CACHE_ENV} if set)")
+
+    p_map = sub.add_parser("map", help="map an STG into a library",
+                           parents=[caching])
     p_map.add_argument("circuit", help=".g file (or a built-in "
                                        "benchmark name)")
     p_map.add_argument("-k", "--literals", type=int, default=2,
@@ -154,12 +212,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print per-stage pipeline timings")
     p_map.set_defaults(func=_cmd_map)
 
-    p_check = sub.add_parser("check", help="verify STG implementability")
-    p_check.add_argument("circuit", help=".g file")
+    p_check = sub.add_parser("check", help="verify STG implementability",
+                             parents=[caching])
+    p_check.add_argument("circuit", help=".g file (or a built-in "
+                                         "benchmark name)")
     p_check.set_defaults(func=_cmd_check)
 
     p_report = sub.add_parser("report",
-                              help="regenerate Table 1 (or a subset)")
+                              help="regenerate Table 1 (or a subset)",
+                              parents=[caching])
     p_report.add_argument("names", nargs="*",
                           help="benchmark names (default: all 32)")
     p_report.add_argument("-k", "--literals", type=int, nargs="+",
@@ -171,12 +232,27 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default: one per CPU; 1 = serial)")
     p_report.set_defaults(func=_cmd_report)
 
-    p_list = sub.add_parser("bench-list", help="list the benchmarks")
+    p_list = sub.add_parser("bench-list", help="list the benchmarks",
+                            parents=[caching])
     p_list.set_defaults(func=_cmd_bench_list)
 
-    p_show = sub.add_parser("show", help="print a benchmark as .g")
+    p_show = sub.add_parser("show", help="print a benchmark as .g",
+                            parents=[caching])
     p_show.add_argument("name")
     p_show.set_defaults(func=_cmd_show)
+
+    p_cache = sub.add_parser("cache",
+                             help="inspect / maintain the artifact "
+                                  "store",
+                             parents=[caching])
+    p_cache.add_argument("action", choices=["stats", "gc", "clear"],
+                         help="stats: inventory; gc: drop stale/"
+                              "corrupt/aged entries; clear: drop "
+                              "everything")
+    p_cache.add_argument("--max-age-days", type=float, default=None,
+                         help="with gc: also drop entries older than "
+                              "this many days")
+    p_cache.set_defaults(func=_cmd_cache)
     return parser
 
 
@@ -186,6 +262,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.func(args)
     except ReproError as error:
+        # includes UnknownBenchmarkError; a genuine KeyError bug deep
+        # in the mapper keeps its traceback
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -28,6 +28,19 @@ class PetriNetError(ReproError):
     """Structural misuse of a Petri net (unknown node, bad arc, ...)."""
 
 
+class UnknownBenchmarkError(ReproError, KeyError):
+    """A benchmark name is not in the Table-1 registry.
+
+    Also a :class:`KeyError` (the registry is a mapping), but part of
+    the :class:`ReproError` hierarchy so the CLI reports it as a clean
+    user error — unlike a genuine ``KeyError`` bug deep in the mapper,
+    which must keep its traceback.
+    """
+
+    def __str__(self) -> str:            # KeyError quotes its args
+        return self.args[0] if self.args else ""
+
+
 class StgError(ReproError):
     """Structural misuse of a Signal Transition Graph."""
 

@@ -18,6 +18,13 @@ Layers
     carry whatever distinguishes variants — e.g. a ``"map"`` entry is
     keyed by ``(library size, acknowledgment mode, mapper config)``.
 
+:class:`~repro.pipeline.store.DiskArtifactCache`
+    A persistent, content-addressed on-disk layer under the in-memory
+    cache (``PipelineConfig.cache_dir`` / ``--cache-dir`` /
+    ``SI_MAPPER_CACHE``).  Entries are versioned per artifact kind and
+    written atomically, so concurrent worker processes share one store
+    safely and schema bumps degrade to recompute, never to a crash.
+
 :class:`~repro.pipeline.context.SynthesisContext`
     Owns the memoized artifacts of *one* circuit: the parsed
     :class:`~repro.stg.stg.Stg`, the encoded state graph (exactly one
@@ -55,9 +62,12 @@ from repro.pipeline.cache import ArtifactCache, content_key_of
 from repro.pipeline.context import SynthesisContext
 from repro.pipeline.run import (Pipeline, PipelineConfig, RunRecord,
                                 StageTiming, STAGES)
+from repro.pipeline.store import (ARTIFACT_FORMATS, DiskArtifactCache,
+                                  DiskStats, StoreReport)
 
 __all__ = [
-    "ArtifactCache", "BatchItem", "BatchRunner", "Pipeline",
-    "PipelineConfig", "RunRecord", "STAGES", "StageTiming",
+    "ARTIFACT_FORMATS", "ArtifactCache", "BatchItem", "BatchRunner",
+    "DiskArtifactCache", "DiskStats", "Pipeline", "PipelineConfig",
+    "RunRecord", "STAGES", "StageTiming", "StoreReport",
     "SynthesisContext", "content_key_of",
 ]

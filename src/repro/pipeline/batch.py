@@ -15,7 +15,11 @@ Workers rebuild their own :class:`~repro.pipeline.context.
 SynthesisContext` from the circuit source (a benchmark name or ``.g``
 text travels cheaply across the process boundary), so each circuit
 still shares one reachability pass and one initial synthesis across
-its whole mapping battery.
+its whole mapping battery.  With ``PipelineConfig.cache_dir`` set,
+every worker additionally warm-starts from the shared
+:class:`~repro.pipeline.store.DiskArtifactCache` at that path —
+artifacts computed by any previous run (or any other worker) are read
+back instead of recomputed.
 """
 
 from __future__ import annotations
@@ -86,17 +90,19 @@ class BatchRunner:
         output even when workers finish out of order.
         """
         sources = list(sources)
-        # Worker records must cross the process boundary: strip the
-        # heavyweight artifacts (state graphs, netlists) regardless of
-        # the in-process default.
-        config = replace(self.config, keep_artifacts=False)
         if self.resolved_jobs(len(sources)) == 1:
+            # No process boundary on the serial path: the caller's
+            # keep_artifacts choice is honored as-is.
             items = []
             for source in sources:
                 if progress is not None:
                     progress(_source_name(source))
-                items.append(_run_source(source, config))
+                items.append(_run_source(source, self.config))
             return items
+        # Worker records must cross the process boundary: strip the
+        # heavyweight artifacts (state graphs, netlists) regardless of
+        # the in-process default.
+        config = replace(self.config, keep_artifacts=False)
         return self._run_pool(sources, config, progress)
 
     def _run_pool(self, sources: Sequence[BatchSource],

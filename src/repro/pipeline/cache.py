@@ -14,7 +14,11 @@ from __future__ import annotations
 
 import hashlib
 import threading
-from typing import Any, Callable, Dict, Hashable, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Hashable,
+                    Optional, Tuple)
+
+if TYPE_CHECKING:
+    from repro.pipeline.store import DiskArtifactCache
 
 
 def content_key_of(g_text: str) -> str:
@@ -34,12 +38,20 @@ class ArtifactCache:
     per-key in-flight event: exactly one caller computes, the others
     block until the value lands and then read it as a hit.  (The old
     lost-race policy recomputed the artifact *and* counted a hit.)
+
+    With a :class:`~repro.pipeline.store.DiskArtifactCache` layered
+    underneath, a memory miss consults the store before computing, and
+    computed values are written through — ``hits`` stays "served from
+    memory" and ``misses`` stays "actually computed"; disk traffic has
+    its own counters on ``disk.stats``.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, disk: "Optional[DiskArtifactCache]" = None
+                 ) -> None:
         self._store: Dict[Hashable, Any] = {}
         self._lock = threading.Lock()
         self._inflight: Dict[Hashable, threading.Event] = {}
+        self.disk = disk
         self.hits = 0
         self.misses = 0
 
@@ -71,6 +83,17 @@ class ArtifactCache:
                 # the computation ourselves).
                 pending.wait()
                 continue
+            if self.disk is not None:
+                from repro.pipeline.store import MISS
+                value = self.disk.get(key)
+                if value is not MISS:
+                    # warm start: neither a memory hit nor a compute —
+                    # the disk layer counted it on ``disk.stats``.
+                    with self._lock:
+                        self._store[key] = value
+                        del self._inflight[key]
+                    pending.set()
+                    return value
             try:
                 value = compute()
             except BaseException:
@@ -83,6 +106,8 @@ class ArtifactCache:
                 self._store[key] = value
                 del self._inflight[key]
             pending.set()
+            if self.disk is not None:
+                self.disk.put(key, value)
             return value
 
     def clear(self) -> None:
@@ -95,6 +120,24 @@ class ArtifactCache:
         """``(entries, hits, misses)`` — for telemetry and tests."""
         with self._lock:
             return len(self._store), self.hits, self.misses
+
+    def telemetry(self) -> Dict[str, int]:
+        """A flat counter snapshot across both layers.
+
+        ``cache_hits`` / ``cache_misses`` are the memory layer
+        (served-from-memory / actually-computed); the ``disk_*``
+        counters are zero when no store is attached.  The pipeline
+        diffs two snapshots to attribute traffic to one run.
+        """
+        with self._lock:
+            counters = {"cache_hits": self.hits,
+                        "cache_misses": self.misses}
+        if self.disk is not None:
+            counters.update(self.disk.stats.as_dict())
+        else:
+            from repro.pipeline.store import DiskStats
+            counters.update(DiskStats().as_dict())
+        return counters
 
     def __repr__(self) -> str:
         entries, hits, misses = self.stats()

@@ -39,7 +39,8 @@ from repro.synthesis.library import GateLibrary
 from repro.synthesis.netlist import Netlist
 
 #: artifact kinds, in flow order (documentation / telemetry labels)
-ARTIFACTS = ("stg", "sg", "csc", "implementations", "netlist", "map")
+ARTIFACTS = ("stg", "sg", "check", "csc", "implementations", "netlist",
+             "map")
 
 
 def _config_key(config: MapperConfig) -> Tuple:

@@ -78,6 +78,23 @@ class RunRecord:
         lines.append(f"{'total':>12}  {self.total_seconds * 1e3:9.1f} ms")
         return "\n".join(lines)
 
+    def cache_summary(self) -> str:
+        """One line of cache telemetry (``si-mapper ... --timings``)."""
+        return (f"cache: {self.stats.get('cache_hits', 0)} memory hits, "
+                f"{self.stats.get('disk_hits', 0)} disk hits, "
+                f"{self.stats.get('cache_misses', 0)} computed; "
+                f"{self.stats.get('disk_bytes_read', 0)} bytes read, "
+                f"{self.stats.get('disk_bytes_written', 0)} bytes "
+                f"written")
+
+    def artifact_summary(self) -> str:
+        """Per-kind compute counts — ``sg=0`` on a warm run means the
+        reachability pass was served from the store, not redone."""
+        from repro.pipeline.context import ARTIFACTS
+        counts = " ".join(f"{kind}={self.stats.get(kind, 0)}"
+                          for kind in ARTIFACTS if kind != "stg")
+        return f"computed artifacts: {counts}"
+
 
 @dataclass
 class PipelineConfig:
@@ -89,7 +106,11 @@ class PipelineConfig:
     mapping loop (including CSC solving); ``verify`` runs the
     speed-independence checker on the smallest successful mapping;
     ``keep_artifacts`` retains the full (heavy, unpicklable-across-
-    workers-for-free) :class:`MappingResult` objects on the record.
+    workers-for-free) :class:`MappingResult` objects on the record;
+    ``cache_dir`` backs the artifact cache with a persistent
+    :class:`~repro.pipeline.store.DiskArtifactCache` at that path, so
+    runs — and :class:`~repro.pipeline.batch.BatchRunner` workers —
+    warm-start from previously computed artifacts.
     """
 
     libraries: Tuple[int, ...] = (2, 3, 4)
@@ -98,6 +119,7 @@ class PipelineConfig:
     verify: bool = False
     keep_artifacts: bool = True
     local_mode: bool = False     # battery runs in "local" mode instead
+    cache_dir: Optional[str] = None
 
     @property
     def modes(self) -> List[Tuple[int, str]]:
@@ -125,6 +147,10 @@ class Pipeline:
     def __init__(self, config: Optional[PipelineConfig] = None,
                  cache: Optional[ArtifactCache] = None):
         self.config = config or PipelineConfig()
+        if cache is None and self.config.cache_dir:
+            from repro.pipeline.store import DiskArtifactCache
+            cache = ArtifactCache(
+                disk=DiskArtifactCache(self.config.cache_dir))
         self.cache = cache
 
     def context_of(self, source: Source) -> SynthesisContext:
@@ -144,6 +170,7 @@ class Pipeline:
         with _timed(record, "load"):
             context = self.context_of(source)
         record.name = context.name
+        cache_before = context.cache.telemetry()
 
         with _timed(record, "reach"):
             context.state_graph()
@@ -173,6 +200,10 @@ class Pipeline:
             record.row = self._report(context, mappings, csc)
 
         record.stats = dict(context.stats)
+        for counter, value in context.cache.telemetry().items():
+            # attribute only this run's cache traffic (the cache may
+            # be shared across many runs in one process)
+            record.stats[counter] = value - cache_before[counter]
         if config.keep_artifacts:
             record.mappings = mappings
             record.context = context
@@ -207,15 +238,21 @@ class Pipeline:
         inserted: Dict[int, Optional[int]] = {}
         si_cost: Optional[Tuple[int, int]] = None
         mode = "local" if self.config.local_mode else "global"
+        # cost columns compare SI vs non-SI decomposition at the
+        # smallest configured library (the paper's k = 2 column)
+        smallest = min(self.config.libraries,
+                       default=2)
         for literals in self.config.libraries:
             result = mappings[(literals, mode)]
             inserted[literals] = (result.inserted_signals
                                   if result.success else None)
-            if literals == 2 and result.success:
+            if literals == smallest and result.success:
                 si_cost = implementation_cost(result.implementations)
 
         siegel: Optional[int] = None
-        if (2, "local") in mappings and not self.config.local_mode:
+        siegel_ran = ((2, "local") in mappings
+                      and not self.config.local_mode)
+        if siegel_ran:
             local = mappings[(2, "local")]
             siegel = local.inserted_signals if local.success else None
 
@@ -226,6 +263,7 @@ class Pipeline:
             .histogram_row(7),
             inserted=inserted,
             siegel_2lit=siegel,
-            non_si_cost=tech_decomp_cost(implementations, 2),
+            non_si_cost=tech_decomp_cost(implementations, smallest),
             si_cost=si_cost,
+            siegel_ran=siegel_ran,
         )

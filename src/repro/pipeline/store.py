@@ -1,0 +1,395 @@
+"""Persistent, content-addressed on-disk artifact store.
+
+:class:`DiskArtifactCache` keeps the expensive intermediates of the
+synthesis flow (state graphs, initial syntheses, mapping results) on
+disk so they survive the process — a second ``si-mapper report`` run,
+or a fresh :class:`~repro.pipeline.batch.BatchRunner` worker, warm-
+starts from the store instead of redoing reachability.  It layers
+*under* the in-memory :class:`~repro.pipeline.cache.ArtifactCache`:
+memory is consulted first, then disk, then the compute thunk; computed
+values are written back through both layers.
+
+Safety properties:
+
+* **content-addressed** — entries are filed under the SHA-256 of the
+  full cache key ``(kind, content_key, *params)``; since the content
+  key is itself the hash of the circuit's canonical ``.g`` text, a
+  changed circuit can never alias a stale entry;
+* **versioned** — every entry carries the :data:`ARTIFACT_FORMATS`
+  stamp of its kind; after a schema bump old entries are *ignored*
+  (recomputed and overwritten), never unpickled into new code;
+* **atomic** — writes go to a temp file in the destination directory
+  and land via ``os.replace``, so concurrent readers (other worker
+  processes sharing the store) see either the old complete entry or
+  the new complete entry, never a torn one;
+* **crash-proof reads** — a corrupt, truncated, or alien file is
+  treated as a miss (and unlinked best-effort), never raised;
+* **pickle-or-skip** — an artifact that refuses to serialize (mapping
+  results carry state graphs and arbitrary user subclasses may sneak
+  in) is silently kept memory-only and counted in ``write_skips``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import pickle
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+#: bump when the directory layout / envelope shape itself changes;
+#: old layout directories are ignored and reaped by ``gc``.
+STORE_LAYOUT = "v1"
+
+#: per-kind artifact format versions.  Bump a kind's version whenever
+#: the pickled schema of that artifact changes (new dataclass fields,
+#: renamed attributes, ...): entries stamped with an older version are
+#: treated as misses and overwritten on the next compute.  Kinds not
+#: listed here are never persisted.
+ARTIFACT_FORMATS: Dict[str, int] = {
+    "sg": 1,
+    "csc": 1,
+    "implementations": 1,
+    "netlist": 1,
+    "check": 1,
+    "map": 1,
+}
+
+#: sentinel distinguishing "no entry" from a stored ``None``
+MISS = object()
+
+
+@dataclass
+class DiskStats:
+    """Telemetry counters of one :class:`DiskArtifactCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stale: int = 0           # right key, outdated format stamp
+    errors: int = 0          # corrupt / truncated / unreadable entries
+    writes: int = 0
+    write_skips: int = 0     # artifacts that refused to pickle
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "disk_hits": self.hits,
+            "disk_misses": self.misses,
+            "disk_stale": self.stale,
+            "disk_errors": self.errors,
+            "disk_writes": self.writes,
+            "disk_write_skips": self.write_skips,
+            "disk_bytes_read": self.bytes_read,
+            "disk_bytes_written": self.bytes_written,
+        }
+
+
+@dataclass
+class StoreReport:
+    """What ``si-mapper cache stats`` prints: on-disk inventory."""
+
+    root: str
+    entries: int = 0
+    bytes: int = 0
+    by_kind: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    def pretty(self) -> str:
+        lines = [f"artifact store at {self.root}",
+                 f"{self.entries} entries, {self.bytes} bytes"]
+        for kind in sorted(self.by_kind):
+            count, size = self.by_kind[kind]
+            lines.append(f"{kind:>16}  {count:6d} entries  "
+                         f"{size:12d} bytes")
+        return "\n".join(lines)
+
+
+class DiskArtifactCache:
+    """Content-addressed, versioned pickle store under one directory.
+
+    Instances are cheap: workers each build their own against the same
+    ``root`` and coordinate purely through atomic filesystem renames.
+    """
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self.stats = DiskStats()
+        # telemetry counters are read-modify-write; one cache may be
+        # shared by many threads (the memory layer's in-flight events
+        # exist for exactly that pattern)
+        self._stats_lock = threading.Lock()
+        os.makedirs(os.path.join(self.root, STORE_LAYOUT),
+                    exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Key → path
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _kind_of(key: Hashable) -> str:
+        if isinstance(key, tuple) and key and isinstance(key[0], str):
+            return key[0]
+        return "misc"
+
+    @staticmethod
+    def _digest_of(key: Hashable) -> str:
+        return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+    def _path(self, key: Hashable) -> str:
+        digest = self._digest_of(key)
+        return os.path.join(self.root, STORE_LAYOUT, self._kind_of(key),
+                            digest[:2], digest + ".pkl")
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self.stats, counter,
+                    getattr(self.stats, counter) + amount)
+
+    def get(self, key: Hashable) -> Any:
+        """The stored artifact, or :data:`MISS`.
+
+        Never raises: a missing, stale-format, corrupt or truncated
+        entry is a miss.  Corrupt entries are unlinked best-effort so
+        they do not cost a failed unpickle on every later run.
+        """
+        kind = self._kind_of(key)
+        expected = ARTIFACT_FORMATS.get(kind)
+        if expected is None:
+            return MISS
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            self._count("misses")
+            return MISS
+        # two concatenated pickles: a small metadata header, then the
+        # payload — so maintenance can check the version stamp without
+        # materializing whole state graphs
+        stream = io.BytesIO(data)
+        try:
+            header = pickle.load(stream)
+            format_stamp = header["format"]
+            key_repr = header["key"]
+        except Exception:
+            # torn write survivor (pre-rename crash can't produce one,
+            # but a full disk or an alien file in the tree can), or a
+            # pickle from an incompatible interpreter: recompute.
+            self._count("errors")
+            self._unlink_quietly(path)
+            return MISS
+        if format_stamp != expected or key_repr != repr(key):
+            # stale schema (or an astronomically unlikely digest
+            # collision): ignore, the next put overwrites it.
+            self._count("stale")
+            return MISS
+        try:
+            payload = pickle.load(stream)
+        except Exception:
+            self._count("errors")
+            self._unlink_quietly(path)
+            return MISS
+        with self._stats_lock:
+            self.stats.hits += 1
+            self.stats.bytes_read += len(data)
+        return payload
+
+    def put(self, key: Hashable, value: Any) -> bool:
+        """Persist an artifact; ``False`` if it was skipped.
+
+        Unpicklable values and filesystem failures are swallowed — the
+        store is an accelerator, never a correctness dependency.
+        """
+        kind = self._kind_of(key)
+        version = ARTIFACT_FORMATS.get(kind)
+        if version is None:
+            return False
+        try:
+            data = (pickle.dumps({"format": version, "key": repr(key)},
+                                 protocol=pickle.HIGHEST_PROTOCOL)
+                    + pickle.dumps(value,
+                                   protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception:
+            self._count("write_skips")
+            return False
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            handle, temp_path = tempfile.mkstemp(
+                dir=directory, prefix=".tmp-", suffix=".pkl")
+            try:
+                with os.fdopen(handle, "wb") as stream:
+                    stream.write(data)
+                os.replace(temp_path, path)
+            except BaseException:
+                self._unlink_quietly(temp_path)
+                raise
+        except OSError:
+            self._count("write_skips")
+            return False
+        with self._stats_lock:
+            self.stats.writes += 1
+            self.stats.bytes_written += len(data)
+        return True
+
+    @staticmethod
+    def _unlink_quietly(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Maintenance (``si-mapper cache stats | gc | clear``)
+    # ------------------------------------------------------------------
+
+    def _layout_roots(self) -> List[str]:
+        """Store-owned layout directories (``v1``, ``v2``, ...) under
+        ``root``.  Maintenance only ever touches these — pointing
+        ``--cache-dir`` at a populated directory must never endanger
+        the neighbours."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return [os.path.join(self.root, name) for name in sorted(names)
+                if name.startswith("v") and name[1:].isdigit()
+                and os.path.isdir(os.path.join(self.root, name))]
+
+    def _entries(self) -> List[Tuple[str, str]]:
+        """Every ``(kind, path)`` entry of the *current* layout."""
+        found: List[Tuple[str, str]] = []
+        layout_root = os.path.join(self.root, STORE_LAYOUT)
+        for directory, _, names in os.walk(layout_root):
+            kind = os.path.relpath(directory, layout_root).split(
+                os.sep)[0]
+            for name in names:
+                if name.endswith(".pkl") and not name.startswith("."):
+                    found.append((kind, os.path.join(directory, name)))
+        return found
+
+    def report(self) -> StoreReport:
+        """Inventory of the store (entries and bytes, per kind)."""
+        report = StoreReport(root=self.root)
+        for kind, path in self._entries():
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            report.entries += 1
+            report.bytes += size
+            count, total = report.by_kind.get(kind, (0, 0))
+            report.by_kind[kind] = (count + 1, total + size)
+        return report
+
+    def gc(self, max_age_seconds: Optional[float] = None
+           ) -> Tuple[int, int]:
+        """Drop unusable entries; returns ``(removed, freed_bytes)``.
+
+        Removes: entries of *older* layouts (a newer binary's layout
+        directory is left alone — this binary cannot judge it),
+        entries of kinds no current code persists, entries with stale
+        format stamps or unreadable headers, leftover temp files, and
+        (optionally) entries older than ``max_age_seconds``.  Only the
+        small metadata header of each entry is unpickled, never the
+        payload.
+        """
+        removed = 0
+        freed = 0
+
+        def reap(path: str) -> None:
+            nonlocal removed, freed
+            try:
+                size = os.path.getsize(path)
+                os.unlink(path)
+            except OSError:
+                return
+            removed += 1
+            freed += size
+
+        # older layout directories, and stray temp files in any layout
+        # (interrupted writes) — never files outside the store-owned
+        # ``v*`` directories, and never a *newer* layout: a shared
+        # store may be fed by a newer binary whose entries this one
+        # cannot judge.
+        current_version = int(STORE_LAYOUT[1:])
+        for layout in self._layout_roots():
+            version = int(os.path.basename(layout)[1:])
+            if version > current_version:
+                continue
+            obsolete = version < current_version
+            for directory, _, names in os.walk(layout):
+                for name in names:
+                    if obsolete or name.startswith(".tmp-"):
+                        reap(os.path.join(directory, name))
+        # current layout: stale / alien / expired entries
+        now = time.time()
+        for kind, path in self._entries():
+            expected = ARTIFACT_FORMATS.get(kind)
+            if expected is None:
+                reap(path)
+                continue
+            if max_age_seconds is not None:
+                try:
+                    age = now - os.path.getmtime(path)
+                except OSError:
+                    continue
+                if age > max_age_seconds:
+                    reap(path)
+                    continue
+            try:
+                with open(path, "rb") as handle:
+                    header = pickle.load(handle)   # header only
+                if header["format"] != expected:
+                    reap(path)
+            except Exception:
+                reap(path)
+        self._prune_empty_directories()
+        return removed, freed
+
+    def clear(self) -> Tuple[int, int]:
+        """Remove every store entry; returns ``(removed, freed_bytes)``.
+
+        Only touches the store-owned layout directories — a stray
+        README next to them survives.
+        """
+        removed = 0
+        freed = 0
+        for layout in self._layout_roots():
+            for directory, _, names in os.walk(layout):
+                for name in names:
+                    path = os.path.join(directory, name)
+                    try:
+                        size = os.path.getsize(path)
+                        os.unlink(path)
+                    except OSError:
+                        continue
+                    removed += 1
+                    freed += size
+        self._prune_empty_directories()
+        return removed, freed
+
+    def _prune_empty_directories(self) -> None:
+        for layout in self._layout_roots():
+            for directory, _, _ in sorted(os.walk(layout),
+                                          reverse=True):
+                try:
+                    os.rmdir(directory)   # fails unless empty — fine
+                except OSError:
+                    pass
+        os.makedirs(os.path.join(self.root, STORE_LAYOUT),
+                    exist_ok=True)
+
+    def __repr__(self) -> str:
+        return (f"DiskArtifactCache({self.root!r}, "
+                f"hits={self.stats.hits}, misses={self.stats.misses}, "
+                f"writes={self.stats.writes})")

@@ -31,10 +31,26 @@ class Table1Row:
     histogram: List[int]                 # gates with n = 2..6, 7+ literals
     inserted: Dict[int, Optional[int]]   # library k -> #signals or None (n.i.)
     siegel_2lit: Optional[int]           # local-ack baseline, None = n.i.
-    non_si_cost: Tuple[int, int]         # (literals, C elements), k = 2
+    non_si_cost: Tuple[int, int]         # (literals, C elements), smallest k
     si_cost: Optional[Tuple[int, int]]   # same, ours; None if n.i.
+    siegel_ran: bool = True              # False: baseline not configured
 
-    def cells(self) -> List[str]:
+    @property
+    def libraries(self) -> Tuple[int, ...]:
+        """The library sizes this row actually ran."""
+        return tuple(sorted(self.inserted))
+
+    def cells(self, libraries: Optional[Sequence[int]] = None
+              ) -> List[str]:
+        """One formatted cell per column.
+
+        Columns follow the *configured* libraries (this row's own by
+        default): a library that never ran renders as ``"-"`` — only a
+        mapping that ran and failed is ``"n.i."``.
+        """
+        chosen = (tuple(libraries) if libraries is not None
+                  else self.libraries)
+
         def fmt_ins(value: Optional[int]) -> str:
             return "n.i." if value is None else str(value)
 
@@ -43,35 +59,49 @@ class Table1Row:
 
         return ([self.name]
                 + [str(n) if n else "" for n in self.histogram]
-                + [fmt_ins(self.inserted.get(k)) for k in (2, 3, 4)]
-                + [fmt_ins(self.siegel_2lit)]
+                + [fmt_ins(self.inserted[k]) if k in self.inserted
+                   else "-" for k in chosen]
+                + [fmt_ins(self.siegel_2lit) if self.siegel_ran
+                   else "-"]
                 + [fmt_cost(self.non_si_cost), fmt_cost(self.si_cost)])
 
 
 def table1_row(name: str, libraries: Sequence[int] = (2, 3, 4),
                config: Optional[MapperConfig] = None,
-               with_siegel: bool = True) -> Table1Row:
+               with_siegel: bool = True,
+               cache_dir: Optional[str] = None) -> Table1Row:
     """Run the full Table-1 battery for one benchmark.
 
     One :class:`repro.pipeline.Pipeline` run: the k-battery and the
     baseline share a single reachability pass and initial synthesis.
+    With ``cache_dir`` they also persist across processes.
     """
     from repro.pipeline import Pipeline, PipelineConfig
     pipeline = Pipeline(PipelineConfig(
         libraries=tuple(libraries), with_siegel=with_siegel,
-        mapper=config, keep_artifacts=False))
+        mapper=config, keep_artifacts=False, cache_dir=cache_dir))
     return pipeline.run(name).row
 
 
-_HEADER = (["circuit"] + [f"n={n}" for n in (2, 3, 4, 5, 6)] + ["n>=7"]
-           + ["i=2", "i=3", "i=4"] + ["[12]"] + ["non-SI", "SI"])
+def header_for(libraries: Sequence[int]) -> List[str]:
+    """The column headers for a configured library battery."""
+    return (["circuit"] + [f"n={n}" for n in (2, 3, 4, 5, 6)]
+            + ["n>=7"] + [f"i={k}" for k in libraries] + ["[12]"]
+            + ["non-SI", "SI"])
 
 
 def format_rows(rows: Sequence[Table1Row]) -> str:
-    """Plain-text table in the paper's column layout."""
-    table = [_HEADER] + [row.cells() for row in rows]
+    """Plain-text table in the paper's column layout.
+
+    The ``i=k`` column group follows the libraries the rows were
+    actually configured with — ``si-mapper report -k 3`` prints one
+    ``i=3`` column instead of pretending k=2/4 ran and failed.
+    """
+    libraries = sorted({k for row in rows for k in row.libraries})
+    header = header_for(libraries)
+    table = [header] + [row.cells(libraries) for row in rows]
     widths = [max(len(line[col]) for line in table)
-              for col in range(len(_HEADER))]
+              for col in range(len(header))]
     lines = []
     for index, line in enumerate(table):
         lines.append("  ".join(cell.rjust(width)
@@ -83,15 +113,24 @@ def format_rows(rows: Sequence[Table1Row]) -> str:
 
 def summarize(rows: Sequence[Table1Row]) -> str:
     """The paper's headline claims, recomputed on our suite."""
-    total = len(rows)
-    ni2 = sum(1 for row in rows if row.inserted.get(2) is None)
+    libraries = sorted({k for row in rows for k in row.libraries})
+    smallest = libraries[0] if libraries else 2
+    # only rows that actually ran the smallest library can be judged
+    # implemented / n.i. at it
+    attempted = [row for row in rows if smallest in row.inserted]
+    ni2 = sum(1 for row in attempted
+              if row.inserted[smallest] is None)
     lines = [
-        f"{total - ni2} of {total} circuits implemented with "
-        f"2-literal gates ({ni2} n.i.).",
+        f"{len(attempted) - ni2} of {len(attempted)} circuits "
+        f"implemented with {smallest}-literal gates ({ni2} n.i.).",
     ]
-    siegel_ni = sum(1 for row in rows if row.siegel_2lit is None)
-    lines.append(f"Local-acknowledgment baseline [12]: "
-                 f"{total - siegel_ni} of {total} at 2 literals.")
+    ran_siegel = [row for row in rows if row.siegel_ran]
+    if ran_siegel:
+        siegel_ni = sum(1 for row in ran_siegel
+                        if row.siegel_2lit is None)
+        lines.append(f"Local-acknowledgment baseline [12]: "
+                     f"{len(ran_siegel) - siegel_ni} of "
+                     f"{len(ran_siegel)} at 2 literals.")
     both = [(row.non_si_cost, row.si_cost) for row in rows
             if row.si_cost is not None]
     if both:
@@ -117,19 +156,23 @@ def table1(names: Optional[Sequence[str]] = None,
            config: Optional[MapperConfig] = None,
            with_siegel: bool = True,
            progress: bool = False,
-           jobs: Optional[int] = None) -> Tuple[List[Table1Row], str]:
+           jobs: Optional[int] = None,
+           cache_dir: Optional[str] = None
+           ) -> Tuple[List[Table1Row], str]:
     """Run the whole Table-1 experiment; returns (rows, formatted).
 
     The suite fans out over a :class:`repro.pipeline.BatchRunner`
     (``jobs=None`` uses every CPU, ``jobs=1`` forces serial).  A
     circuit that errors is reported below the table instead of killing
-    the run.
+    the run.  With ``cache_dir`` every worker warm-starts from (and
+    feeds) the persistent artifact store at that path.
     """
     from repro.pipeline import BatchRunner, PipelineConfig
     chosen = list(names) if names is not None else benchmark_names()
     runner = BatchRunner(PipelineConfig(
         libraries=tuple(libraries), with_siegel=with_siegel,
-        mapper=config, keep_artifacts=False), jobs=jobs)
+        mapper=config, keep_artifacts=False, cache_dir=cache_dir),
+        jobs=jobs)
     callback = ((lambda name: print(f"... {name}", flush=True))
                 if progress else None)
     items = runner.run(chosen, progress=callback)

@@ -113,7 +113,9 @@ def parse_g(text: str, name: Optional[str] = None) -> Stg:
         stg.add_place(token)
 
     # Second pass: arcs.  A line "x y z ..." adds arcs x->y, x->z, ...
-    implicit: Dict[Tuple[str, str], str] = {}
+    # Repeated transition→transition lines create *parallel* implicit
+    # places, so the pair maps to a list (in source order).
+    implicit: Dict[Tuple[str, str], List[str]] = {}
     for line_no, tokens in graph_lines:
         if len(tokens) < 2:
             raise ParseError("graph line needs a source and at least one "
@@ -128,7 +130,8 @@ def parse_g(text: str, name: Optional[str] = None) -> Stg:
                 place = stg.add_place()
                 stg.net.add_arc(canon_source, place)
                 stg.net.add_arc(place, canon_target)
-                implicit[(canon_source, canon_target)] = place
+                implicit.setdefault(
+                    (canon_source, canon_target), []).append(place)
             else:
                 canon_source = (str(SignalTransition.parse(source))
                                 if source_is_t else source)
@@ -136,8 +139,11 @@ def parse_g(text: str, name: Optional[str] = None) -> Stg:
                                 if target_is_t else target)
                 stg.net.add_arc(canon_source, canon_target)
 
-    # Marking.
+    # Marking.  A repeated ``<a,b>`` token marks the *next* parallel
+    # implicit place of that pair — each place can carry at most one
+    # token (the nets are 1-safe).
     marked: List[str] = []
+    implicit_used: Dict[Tuple[str, str], int] = {}
     for token in marking_tokens:
         if token.startswith("<") and token.endswith(">"):
             body = token[1:-1]
@@ -149,7 +155,14 @@ def parse_g(text: str, name: Optional[str] = None) -> Stg:
             if pair not in implicit:
                 raise ParseError(f"marking names missing implicit place "
                                  f"{token!r}")
-            marked.append(implicit[pair])
+            used = implicit_used.get(pair, 0)
+            if used >= len(implicit[pair]):
+                raise ParseError(
+                    f"marking token {token!r} appears {used + 1} times "
+                    f"but only {len(implicit[pair])} implicit place(s) "
+                    "exist between that transition pair")
+            marked.append(implicit[pair][used])
+            implicit_used[pair] = used + 1
         else:
             if token not in place_tokens:
                 raise ParseError(f"marking names unknown place {token!r}")

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.stg.stg import Stg
 
@@ -13,6 +13,20 @@ def write_g(stg: Stg) -> str:
     Implicit places (exactly one producer and one consumer, unmarked or
     marked) are rendered as direct transition→transition arcs; the
     marking then uses the ``<source,target>`` notation.
+
+    *Parallel* implicit places — several places between the same
+    transition pair — are rendered as explicit named places instead:
+    collapsing them to repeated ``a b`` arc lines would merge them on
+    re-parse, and a repeated ``<a,b>`` marking token cannot say *which*
+    of them carries the token.
+
+    The output is *canonical*: implicit arcs are ordered by their
+    ``(producer, consumer)`` labels and marking tokens are sorted, so
+    the text never depends on auto-generated internal place names
+    (which do not survive a parse).  Together these make
+    ``write_g(parse_g(write_g(stg))) == write_g(stg)`` — the fixed
+    point :func:`repro.pipeline.cache.content_key_of` relies on for
+    stable cache identity.
     """
     lines: List[str] = [f".model {stg.name}"]
     if stg.inputs:
@@ -25,26 +39,39 @@ def write_g(stg: Stg) -> str:
     lines.append(".graph")
 
     net = stg.net
+    pair_counts: Dict[Tuple[str, str], int] = {}
+    for place in net.places:
+        producers = net.place_preset(place)
+        consumers = net.place_postset(place)
+        if len(producers) == 1 and len(consumers) == 1:
+            pair = (next(iter(producers)), next(iter(consumers)))
+            pair_counts[pair] = pair_counts.get(pair, 0) + 1
+
     marking_tokens: List[str] = []
+    implicit_arcs: List[Tuple[str, str]] = []
     explicit_places = []
     for place in net.places:
         producers = sorted(net.place_preset(place))
         consumers = sorted(net.place_postset(place))
-        if len(producers) == 1 and len(consumers) == 1:
-            lines.append(f"{producers[0]} {consumers[0]}")
+        if (len(producers) == 1 and len(consumers) == 1
+                and pair_counts[(producers[0], consumers[0])] == 1):
+            implicit_arcs.append((producers[0], consumers[0]))
             if place in net.initial_marking:
                 marking_tokens.append(f"<{producers[0]},{consumers[0]}>")
         else:
             explicit_places.append(place)
             if place in net.initial_marking:
                 marking_tokens.append(place)
+    for producer, consumer in sorted(implicit_arcs):
+        lines.append(f"{producer} {consumer}")
     for place in explicit_places:
         for producer in sorted(net.place_preset(place)):
             lines.append(f"{producer} {place}")
         for consumer in sorted(net.place_postset(place)):
             lines.append(f"{place} {consumer}")
 
-    lines.append(".marking { " + " ".join(marking_tokens) + " }")
+    lines.append(".marking { " + " ".join(sorted(marking_tokens))
+                 + " }")
     lines.append(".end")
     return "\n".join(lines) + "\n"
 

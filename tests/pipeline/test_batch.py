@@ -58,3 +58,23 @@ def test_records_are_lightweight_across_workers():
     assert record.mappings is None
     assert record.context is None
     assert record.stats["sg"] == 1
+
+
+def test_serial_batch_honors_keep_artifacts():
+    """jobs=1 crosses no process boundary: the caller's
+    keep_artifacts=True must survive (it used to be forced off)."""
+    from dataclasses import replace
+    items = BatchRunner(replace(FAST, keep_artifacts=True),
+                        jobs=1).run(["half"])
+    record = items[0].record
+    assert record.context is not None
+    assert record.mappings is not None
+    assert (2, "global") in record.mappings
+    assert record.context.name == "half"
+
+
+def test_parallel_batch_still_strips_artifacts():
+    from dataclasses import replace
+    items = BatchRunner(replace(FAST, keep_artifacts=True),
+                        jobs=2).run(["half", "hazard"])
+    assert all(item.record.context is None for item in items)

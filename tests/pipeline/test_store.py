@@ -1,0 +1,264 @@
+"""DiskArtifactCache: persistence, versioning, corruption tolerance,
+warm-started pipelines and batch workers."""
+
+import os
+import pickle
+import threading
+
+import pytest
+
+from repro.pipeline import (ArtifactCache, BatchRunner, DiskArtifactCache,
+                            Pipeline, PipelineConfig)
+from repro.pipeline.store import ARTIFACT_FORMATS, MISS, STORE_LAYOUT
+
+
+KEY = ("sg", "f" * 64)
+
+
+class TestStoreBasics:
+    def test_round_trip(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        assert store.get(KEY) is MISS
+        assert store.put(KEY, {"value": 42})
+        assert store.get(KEY) == {"value": 42}
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1
+        assert store.stats.writes == 1
+        assert store.stats.bytes_written > 0
+
+    def test_persists_across_instances(self, tmp_path):
+        DiskArtifactCache(str(tmp_path)).put(KEY, "artifact")
+        fresh = DiskArtifactCache(str(tmp_path))
+        assert fresh.get(KEY) == "artifact"
+
+    def test_distinct_keys_do_not_alias(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        other = ("sg", "e" * 64)
+        store.put(KEY, "a")
+        store.put(other, "b")
+        assert store.get(KEY) == "a"
+        assert store.get(other) == "b"
+
+    def test_unknown_kind_is_never_persisted(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        assert not store.put(("stg", "a" * 64), "raw")
+        assert store.get(("stg", "a" * 64)) is MISS
+        assert store.report().entries == 0
+
+    def test_unpicklable_value_is_skipped_not_raised(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        assert not store.put(KEY, threading.Lock())
+        assert store.stats.write_skips == 1
+        assert store.get(KEY) is MISS
+
+    def test_overwrite_is_atomic_latest_wins(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        store.put(KEY, "old")
+        store.put(KEY, "new")
+        assert store.get(KEY) == "new"
+        assert store.report().entries == 1
+
+
+class TestStoreResilience:
+    """A bad store entry degrades to recompute, never to a crash."""
+
+    def _entry_path(self, store):
+        ((_, path),) = store._entries()
+        return path
+
+    def test_corrupt_entry_is_a_miss_and_reaped(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        store.put(KEY, "artifact")
+        with open(self._entry_path(store), "wb") as handle:
+            handle.write(b"not a pickle at all")
+        assert store.get(KEY) is MISS
+        assert store.stats.errors == 1
+        assert store.report().entries == 0   # unlinked best-effort
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        store.put(KEY, "artifact" * 100)
+        path = self._entry_path(store)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        assert store.get(KEY) is MISS
+
+    def test_stale_format_is_ignored_then_overwritten(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        store.put(KEY, "artifact")
+        path = self._entry_path(store)
+        with open(path, "wb") as handle:
+            pickle.dump({"format": ARTIFACT_FORMATS["sg"] + 1,
+                         "key": repr(KEY), "payload": "artifact"},
+                        handle)
+        assert store.get(KEY) is MISS
+        assert store.stats.stale == 1
+        store.put(KEY, "recomputed")
+        assert store.get(KEY) == "recomputed"
+
+    def test_corrupt_entry_recomputes_through_pipeline(self, tmp_path):
+        config = PipelineConfig(libraries=(2,), with_siegel=False,
+                                keep_artifacts=False,
+                                cache_dir=str(tmp_path))
+        cold = Pipeline(config).run("half")
+        store = DiskArtifactCache(str(tmp_path))
+        for _, path in store._entries():
+            with open(path, "wb") as handle:
+                handle.write(b"\x80garbage")
+        warm = Pipeline(config).run("half")
+        assert warm.row == cold.row
+        assert warm.stats["sg"] == 1         # recomputed, no crash
+        assert warm.stats["disk_errors"] > 0
+
+
+class TestStoreMaintenance:
+    def test_report_counts_by_kind(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        store.put(("sg", "a" * 64), "x")
+        store.put(("map", "a" * 64, 2, "global", ()), "y")
+        report = store.report()
+        assert report.entries == 2
+        assert set(report.by_kind) == {"sg", "map"}
+        assert "2 entries" in report.pretty()
+
+    def test_clear_removes_entries_only(self, tmp_path):
+        stranger = tmp_path / "notes.txt"
+        stranger.write_text("keep me")
+        store = DiskArtifactCache(str(tmp_path))
+        store.put(KEY, "x")
+        removed, freed = store.clear()
+        assert removed == 1 and freed > 0
+        assert store.get(KEY) is MISS
+        assert stranger.read_text() == "keep me"
+
+    def test_gc_reaps_stale_and_alien_entries(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        store.put(KEY, "good")
+        # a stale-format entry of a valid kind
+        stale = tmp_path / STORE_LAYOUT / "map" / "00" / ("0" * 64 + ".pkl")
+        stale.parent.mkdir(parents=True)
+        with open(stale, "wb") as handle:
+            pickle.dump({"format": -1, "key": "k", "payload": 0}, handle)
+        # an entry of a kind no current code persists
+        alien = tmp_path / STORE_LAYOUT / "ghost" / "00" / ("1" * 64 + ".pkl")
+        alien.parent.mkdir(parents=True)
+        alien.write_bytes(b"whatever")
+        # a leftover temp file from an interrupted write
+        (tmp_path / STORE_LAYOUT / "sg" / ".tmp-dead.pkl").write_bytes(b"")
+        removed, _ = store.gc()
+        assert removed == 3
+        assert store.get(KEY) == "good"      # the healthy entry survives
+
+    def test_gc_leaves_newer_layouts_alone(self, tmp_path):
+        """A shared store may be fed by a newer binary; this one's gc
+        must not wipe entries it cannot judge."""
+        store = DiskArtifactCache(str(tmp_path))
+        store.put(KEY, "current")
+        newer = tmp_path / "v999" / "sg" / "00" / ("2" * 64 + ".pkl")
+        newer.parent.mkdir(parents=True)
+        newer.write_bytes(b"a future binary's entry")
+        older = tmp_path / "v0" / "sg" / "00" / ("3" * 64 + ".pkl")
+        older.parent.mkdir(parents=True)
+        older.write_bytes(b"an obsolete entry")
+        removed, _ = store.gc()
+        assert removed == 1
+        assert newer.exists()
+        assert not older.exists()
+
+    def test_gc_reads_headers_not_payloads(self, tmp_path):
+        """gc must never materialize payloads (mapping results carry
+        whole state graphs)."""
+        store = DiskArtifactCache(str(tmp_path))
+        store.put(KEY, "fine")
+        path = store._entries()[0][1]
+        with open(path, "rb") as handle:
+            data = handle.read()
+        # sever the payload: a valid header followed by garbage
+        import io
+        stream = io.BytesIO(data)
+        pickle.load(stream)
+        with open(path, "wb") as handle:
+            handle.write(data[: stream.tell()] + b"\x80broken payload")
+        removed, _ = store.gc()
+        assert removed == 0                  # header is valid: kept
+        assert store.get(KEY) is MISS        # ...but get() catches it
+        assert store.stats.errors == 1
+        store = DiskArtifactCache(str(tmp_path))
+        store.put(KEY, "old")
+        ((_, path),) = store._entries()
+        os.utime(path, (0, 0))               # epoch-old
+        removed, _ = store.gc(max_age_seconds=3600)
+        assert removed == 1
+
+
+class TestLayeredCache:
+    def test_memory_then_disk_then_compute(self, tmp_path):
+        disk = DiskArtifactCache(str(tmp_path))
+        cache = ArtifactCache(disk=disk)
+        computes = []
+
+        def compute():
+            computes.append(1)
+            return "value"
+
+        assert cache.get_or_compute(KEY, compute) == "value"   # computed
+        assert cache.get_or_compute(KEY, compute) == "value"   # memory
+        fresh = ArtifactCache(disk=DiskArtifactCache(str(tmp_path)))
+        assert fresh.get_or_compute(KEY, compute) == "value"   # disk
+        assert len(computes) == 1
+        assert fresh.misses == 0
+        assert fresh.disk.stats.hits == 1
+
+    def test_telemetry_without_disk_has_zero_counters(self):
+        cache = ArtifactCache()
+        telemetry = cache.telemetry()
+        assert telemetry["disk_hits"] == 0
+        assert telemetry["cache_misses"] == 0
+
+
+BATTERY = PipelineConfig(libraries=(2,), with_siegel=True,
+                         keep_artifacts=False)
+
+
+class TestWarmStart:
+    """The acceptance criterion: a warm second run is byte-identical
+    and computes zero reach / synthesize artifacts."""
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_warm_batch_is_identical_and_compute_free(self, tmp_path,
+                                                      jobs):
+        from dataclasses import replace
+        from repro.report import format_rows
+        config = replace(BATTERY, cache_dir=str(tmp_path))
+        names = ["half", "hazard"]
+        runner = BatchRunner(config, jobs=jobs)
+        cold = runner.run(names)
+        warm = BatchRunner(config, jobs=jobs).run(names)
+        assert all(item.ok for item in cold + warm)
+        cold_rows = [item.record.row for item in cold]
+        warm_rows = [item.record.row for item in warm]
+        assert format_rows(warm_rows) == format_rows(cold_rows)
+        for item in warm:
+            assert item.record.stats["sg"] == 0
+            assert item.record.stats["implementations"] == 0
+            assert item.record.stats["map"] == 0
+            assert item.record.stats["disk_hits"] > 0
+
+    def test_workers_share_one_store(self, tmp_path):
+        """A cold parallel batch populates one store: each circuit's
+        artifacts are computed once across all workers."""
+        from dataclasses import replace
+        config = replace(BATTERY, cache_dir=str(tmp_path))
+        BatchRunner(config, jobs=2).run(["half", "hazard"])
+        report = DiskArtifactCache(str(tmp_path)).report()
+        # 2 circuits x (sg, implementations, netlist, 2 mappings)
+        assert report.by_kind["sg"][0] == 2
+        assert report.by_kind["implementations"][0] == 2
+        assert report.by_kind["map"][0] == 4
+
+    def test_cache_dir_off_means_no_disk_io(self):
+        record = Pipeline(BATTERY).run("half")
+        assert record.stats["disk_hits"] == 0
+        assert record.stats["disk_writes"] == 0

@@ -1,0 +1,156 @@
+"""``write_g`` ∘ ``parse_g`` round-trip stability.
+
+``content_key_of`` hashes ``write_g`` output, so any net whose
+serialization loses structure (or whose re-serialization differs)
+silently corrupts cache identity.  The ambiguous corner is the
+``<a,b>`` marking token: with *parallel* implicit places between the
+same transition pair it cannot say which place carries the token, and
+repeated ``a b`` arc lines used to collapse into interchangeable
+places with a last-one-wins marking."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.pipeline.cache import content_key_of
+from repro.stg.parser import parse_g
+from repro.stg.stg import Stg
+from repro.stg.writer import write_g
+
+
+def _cycle(stg, pairs):
+    for source, target in pairs:
+        place = stg.add_place()
+        stg.net.add_arc(source, place)
+        stg.net.add_arc(place, target)
+
+
+def parallel_stg(marked_places=("par1", "par2")):
+    """a+ → b+ with a *doubled* edge (two parallel implicit-shaped
+    places ``par1``/``par2``), closed into a consistent cycle."""
+    stg = Stg("par")
+    stg.add_input("a")
+    stg.add_output("b")
+    for label in ("a+", "a-", "b+", "b-"):
+        stg.ensure_transition(label)
+    for name in ("par1", "par2"):
+        stg.add_place(name)
+        stg.net.add_arc("a+", name)
+        stg.net.add_arc(name, "b+")
+    _cycle(stg, [("b+", "a-"), ("a-", "b-"), ("b-", "a+")])
+    stg.net.set_initial_marking(marked_places)
+    return stg
+
+
+def _parallel_places(stg):
+    return [place for place in stg.net.places
+            if stg.net.place_preset(place) == frozenset({"a+"})
+            and stg.net.place_postset(place) == frozenset({"b+"})]
+
+
+class TestParallelImplicitPlaces:
+    @pytest.mark.parametrize("marking", [
+        ("par1", "par2"),                    # both parallel places marked
+        ("par1",),                           # only one of them marked
+        ("par2",),
+    ])
+    def test_structure_and_marking_survive(self, marking):
+        stg = parallel_stg(marked_places=marking)
+        text = write_g(stg)
+        reparsed = parse_g(text)
+        assert len(_parallel_places(reparsed)) == 2
+        assert (len(reparsed.net.initial_marking)
+                == len(stg.net.initial_marking))
+        # the number of *parallel* tokens is what firing semantics see
+        marked_parallel = [place for place
+                           in _parallel_places(reparsed)
+                           if place in reparsed.net.initial_marking]
+        assert len(marked_parallel) == len(marking)
+
+    @pytest.mark.parametrize("marking", [
+        ("par1", "par2"), ("par1",), ("par2",),
+    ])
+    def test_serialization_is_a_fixed_point(self, marking):
+        """write ∘ parse ∘ write is stable — the cache identity of a
+        re-parsed circuit never drifts."""
+        stg = parallel_stg(marked_places=marking)
+        text = write_g(stg)
+        again = write_g(parse_g(text))
+        assert again == text
+        assert content_key_of(again) == content_key_of(text)
+
+    def test_parallel_places_render_explicit(self):
+        """Collapsing the doubled edge to two identical ``a+ b+``
+        lines would merge the places on re-parse."""
+        text = write_g(parallel_stg())
+        graph = text.split(".graph\n")[1].split(".marking")[0]
+        assert "a+ b+\n" not in graph
+        assert "par1" in graph and "par2" in graph
+
+
+SINGLE = """
+.model single
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+"""
+
+
+class TestMarkedImplicitPlaces:
+    def test_single_marked_implicit_place_round_trips(self):
+        stg = parse_g(SINGLE)
+        text = write_g(stg)
+        assert "<b-,a+>" in text
+        assert write_g(parse_g(text)) == text
+
+    def test_duplicate_marking_tokens_mark_distinct_places(self):
+        """Foreign ``.g`` text may still spell parallel places as
+        repeated arc lines: repeated ``<a,b>`` tokens must then mark
+        *distinct* places, not the same one twice."""
+        text = """
+.model dup
+.inputs a
+.outputs b
+.graph
+a+ b+
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <a+,b+> <a+,b+> }
+.end
+"""
+        stg = parse_g(text)
+        assert len(_parallel_places(stg)) == 2
+        marked = [place for place in _parallel_places(stg)
+                  if place in stg.net.initial_marking]
+        assert len(marked) == 2
+
+    def test_more_tokens_than_places_is_an_error(self):
+        text = """
+.model dup
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <a+,b+> <a+,b+> }
+.end
+"""
+        with pytest.raises(ParseError, match="2 times"):
+            parse_g(text)
+
+
+def test_benchmark_suite_round_trips():
+    """Every built-in circuit serializes to a fixed point."""
+    from repro.bench_suite import benchmark, benchmark_names
+    for name in benchmark_names():
+        text = write_g(benchmark(name))
+        assert write_g(parse_g(text)) == text, name

@@ -57,6 +57,16 @@ class TestCommands:
         assert main(["check", g_file]) == 0
         assert "implementable" in capsys.readouterr().out
 
+    def test_check_benchmark_name(self, capsys):
+        """`check` resolves built-in benchmark names like `map` does."""
+        assert main(["check", "half"]) == 0
+        out = capsys.readouterr().out
+        assert "half" in out and "implementable" in out
+
+    def test_check_unknown_benchmark(self, capsys):
+        assert main(["check", "zzz-no-such"]) == 2
+        assert "error" in capsys.readouterr().err
+
     def test_check_violations(self, tmp_path, capsys):
         bad = tmp_path / "bad.g"
         bad.write_text("""
@@ -86,8 +96,8 @@ b+/2 a+
         assert ".end" in out
 
     def test_show_unknown(self, capsys):
-        with pytest.raises(KeyError):
-            main(["show", "zzz"])
+        assert main(["show", "zzz"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
 
     def test_report_subset(self, capsys):
         assert main(["report", "half", "-k", "2", "--no-siegel"]) == 0
@@ -102,6 +112,52 @@ b+/2 a+
         out = capsys.readouterr().out
         assert "half" in out
         assert "stage timings:" in out and "reach" in out
+
+    def test_map_cache_dir_warm_run(self, tmp_path, capsys):
+        """Second --cache-dir run: identical output, zero heavy
+        computes, disk hits in the telemetry."""
+        cache = str(tmp_path / "store")
+        argv = ["map", "half", "-k", "2", "--timings",
+                "--cache-dir", cache]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 computed" in warm
+        assert "sg=0" in warm and "implementations=0" in warm
+        assert "disk hits" in warm
+
+        def gates(text):
+            return text.split("stage timings:")[0]
+        assert gates(warm) == gates(cold)
+
+    def test_cache_env_var(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("SI_MAPPER_CACHE", str(tmp_path / "env"))
+        assert main(["map", "half", "-k", "2"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "sg" in out
+
+    def test_cache_subcommand(self, tmp_path, capsys):
+        cache = str(tmp_path / "store")
+        assert main(["map", "half", "-k", "2",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        assert "sg" in capsys.readouterr().out
+        assert main(["cache", "gc", "--cache-dir", cache]) == 0
+        assert "removed 0 entries" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_cache_subcommand_needs_directory(self, capsys,
+                                              monkeypatch):
+        monkeypatch.delenv("SI_MAPPER_CACHE", raising=False)
+        assert main(["cache", "stats"]) == 2
+        assert "no cache directory" in capsys.readouterr().err
 
     def test_map_solve_csc(self, tmp_path, capsys):
         """CSC-violating input: the pipeline must solve CSC before the

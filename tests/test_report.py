@@ -22,16 +22,42 @@ class TestRow:
         assert 2 in row.inserted
 
     def test_cells_shape(self, rows):
+        # columns follow the libraries the row actually ran: name +
+        # 6 histogram + one i=k column per library + [12] + 2 costs
         for row in rows:
             cells = row.cells()
             assert cells[0] == row.name
-            assert len(cells) == 13
+            assert len(cells) == 11
+            assert row.libraries == (2,)
+
+    def test_cells_full_battery(self):
+        row = Table1Row("fake", [0] * 6, {2: 1, 3: 0, 4: 0}, None,
+                        (10, 2), (12, 2))
+        assert len(row.cells()) == 13
 
     def test_na_rendering(self):
         row = Table1Row("fake", [0] * 6, {2: None}, None, (10, 2), None)
         cells = row.cells()
         assert "n.i." in cells
         assert "-" in cells
+
+    def test_not_run_is_not_ni(self):
+        """A library that never ran renders '-', not 'n.i.'."""
+        row = Table1Row("fake", [0] * 6, {3: 2}, None, (10, 2), None)
+        cells = row.cells((2, 3, 4))
+        k_cells = cells[7:10]
+        assert k_cells == ["-", "2", "-"]
+        assert "n.i." not in k_cells
+
+    def test_siegel_not_run_is_not_ni(self):
+        """Same distinction for the [12] baseline column."""
+        ran = Table1Row("a", [0] * 6, {2: 1}, None, (10, 2), None,
+                        siegel_ran=True)
+        skipped = Table1Row("b", [0] * 6, {2: 1}, None, (10, 2), None,
+                            siegel_ran=False)
+        assert ran.cells()[8] == "n.i."
+        assert skipped.cells()[8] == "-"
+        assert "[12]" not in summarize([skipped])
 
 
 class TestFormatting:
@@ -41,10 +67,28 @@ class TestFormatting:
         assert lines[0].lstrip().startswith("circuit")
         assert len(lines) == len(rows) + 2  # header + rule
 
+    def test_format_rows_header_follows_libraries(self, rows):
+        # rows ran k=2 only: exactly the i=2 column, no phantom i=3/i=4
+        header = format_rows(rows).splitlines()[0]
+        assert "i=2" in header
+        assert "i=3" not in header and "i=4" not in header
+
     def test_summarize_mentions_claims(self, rows):
         text = summarize(rows)
         assert "2-literal" in text
         assert "[12]" in text
+
+    def test_summarize_follows_smallest_library(self):
+        row = Table1Row("fake", [0] * 6, {3: 1}, None, (10, 2), (11, 2))
+        assert "3-literal" in summarize([row])
+
+    def test_summarize_skips_rows_that_never_ran_smallest(self):
+        """Heterogeneous rows: a k=3-only row is not 'n.i. at k=2'."""
+        ran_k2 = Table1Row("a", [0] * 6, {2: 1}, None, (10, 2), (11, 2))
+        only_k3 = Table1Row("b", [0] * 6, {3: 1}, None, (10, 2),
+                            (11, 2))
+        text = summarize([ran_k2, only_k3])
+        assert "1 of 1 circuits implemented with 2-literal" in text
 
 
 class TestTable1Driver:
