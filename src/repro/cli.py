@@ -6,6 +6,8 @@ Sub-commands:
   — map one STG (a ``.g`` file or a built-in benchmark name) and print
   the netlist;
 * ``si-mapper check circuit.g`` — run the SG property suite;
+* ``si-mapper csc circuit.g [--csc-method blocks|regions]`` — solve
+  Complete State Coding by state-signal insertion and print the steps;
 * ``si-mapper report [names...] [-k ...] [-j JOBS]`` — regenerate
   (part of) Table 1 on the built-in benchmark suite, fanning circuits
   out over worker processes;
@@ -53,12 +55,20 @@ def _cache_of(args: argparse.Namespace) -> Optional[ArtifactCache]:
     return ArtifactCache(disk=DiskArtifactCache(directory))
 
 
+def _solve_csc_requested(args: argparse.Namespace) -> bool:
+    """Choosing a non-default CSC method implies the stage itself —
+    one rule shared by every sub-command that has both flags."""
+    return args.solve_csc or args.csc_method != "blocks"
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
+    solve_csc = _solve_csc_requested(args)
     config = PipelineConfig(
         libraries=(args.literals,),
         with_siegel=False,
         local_mode=args.local_ack,
-        mapper=MapperConfig(solve_csc=args.solve_csc),
+        mapper=MapperConfig(solve_csc=solve_csc,
+                            csc_method=args.csc_method),
         verify=args.verify,
         keep_artifacts=True,
         cache_dir=_cache_dir_of(args))
@@ -82,6 +92,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
         skipped = record.stats.get("signals_skipped", 0)
         print(f"resynthesis: {resynthesized} signals from scratch, "
               f"{reused} reused, {skipped} skipped")
+        if solve_csc:
+            print(record.csc_summary())
         print(record.cache_summary())
         print(record.artifact_summary())
     if args.dot:
@@ -132,13 +144,49 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.report import table1
     names = args.names or None
+    mapper = None
+    if _solve_csc_requested(args):
+        mapper = MapperConfig(solve_csc=True,
+                              csc_method=args.csc_method)
     rows, text = table1(names, libraries=tuple(args.literals),
                         with_siegel=not args.no_siegel,
+                        config=mapper,
                         progress=True, jobs=args.jobs,
                         cache_dir=_cache_dir_of(args))
     print(text)
     expected = args.names or benchmark_names()
     return 0 if len(rows) == len(expected) else 1
+
+
+def _cmd_csc(args: argparse.Namespace) -> int:
+    """Solve CSC for one circuit and print the insertion steps."""
+    from repro.mapping.csc import csc_conflicts
+    from repro.sg.properties import csc_violations
+
+    context = SynthesisContext.of(args.circuit, cache=_cache_of(args))
+    sg = context.state_graph()
+    conflicts = csc_conflicts(sg)
+    print(f"{context.name}: {len(sg)} states, "
+          f"{len(conflicts)} CSC conflict pairs "
+          f"({len(csc_violations(sg))} conflicting codes)")
+    result = context.csc_result(max_signals=args.max_signals,
+                                method=args.csc_method)
+    print(result.summary())
+    for step in result.steps:
+        cost = "" if step.cost is None else f", cost {step.cost} lits"
+        print(f"  + {step.signal} on block [{step.block_label}]: "
+              f"{step.conflicts_before} -> {step.conflicts_after} "
+              f"conflicts ({step.candidates_evaluated} candidates"
+              f"{cost})")
+    solved = result.sg
+    remaining = csc_violations(solved)
+    print(f"solved: {len(solved)} states, "
+          f"{len(remaining)} violations remaining")
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(solved.to_dot())
+        print(f"state graph written to {args.dot}")
+    return 0 if not remaining else 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -200,6 +248,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--solve-csc", action="store_true",
                        help="insert state signals to fix CSC conflicts "
                             "before mapping")
+    p_map.add_argument("--csc-method", choices=["blocks", "regions"],
+                       default="blocks",
+                       help="candidate family of the CSC solver: the "
+                            "legacy event-pair blocks or the "
+                            "region-algebra method of reference [6]; "
+                            "choosing 'regions' implies --solve-csc "
+                            "(default: blocks)")
     p_map.add_argument("--verilog", help="write the mapped netlist as "
                                          "structural Verilog")
     p_map.add_argument("--eqn", help="write the mapped netlist as SIS "
@@ -230,7 +285,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("-j", "--jobs", type=int, default=None,
                           help="parallel worker processes "
                                "(default: one per CPU; 1 = serial)")
+    p_report.add_argument("--solve-csc", action="store_true",
+                          help="run the CSC-solving stage before "
+                               "mapping (adds the csc column)")
+    p_report.add_argument("--csc-method",
+                          choices=["blocks", "regions"],
+                          default="blocks",
+                          help="CSC candidate family; choosing "
+                               "'regions' implies --solve-csc")
     p_report.set_defaults(func=_cmd_report)
+
+    p_csc = sub.add_parser("csc",
+                           help="solve Complete State Coding for an "
+                                "STG",
+                           parents=[caching])
+    p_csc.add_argument("circuit", help=".g file (or a built-in "
+                                       "benchmark name)")
+    p_csc.add_argument("--csc-method", choices=["blocks", "regions"],
+                       default="blocks",
+                       help="candidate family (default: blocks)")
+    p_csc.add_argument("--max-signals", type=int, default=8,
+                       help="insertion budget (default 8)")
+    p_csc.add_argument("--dot", help="write the solved SG as GraphViz")
+    p_csc.set_defaults(func=_cmd_csc)
 
     p_list = sub.add_parser("bench-list", help="list the benchmarks",
                             parents=[caching])

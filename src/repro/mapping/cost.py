@@ -25,26 +25,40 @@ def cover_complexity(cover: SopCover, complement: SopCover) -> int:
     return min(cover.literal_count(), complement.literal_count())
 
 
+def signal_logic_cost(impl: SignalImplementation) -> int:
+    """Literal cost of one signal's standard-C logic (its slice of
+    :func:`implementation_cost`, without the C element).
+
+    Counts the first-level cover gates (at their min-polarity
+    complexity) and the OR joins of multi-region set/reset networks
+    (one literal per joined cover).  The regions-based CSC solver ranks
+    candidate insertion blocks by this measure — the estimated logic
+    the new state signal would cost — so encoding and mapping price
+    gates identically.
+    """
+    if impl.is_combinational:
+        return impl.complete_complexity or 0
+    literals = 0
+    for covers in (impl.set_covers, impl.reset_covers):
+        literals += sum(rc.complexity for rc in covers)
+        if len(covers) > 1:
+            literals += len(covers)  # the OR join network
+    return literals
+
+
 def implementation_cost(
         implementations: Dict[str, SignalImplementation]) -> Tuple[int, int]:
     """(literals, C elements) of a standard-C implementation.
 
-    Counts the first-level cover gates (at their min-polarity
-    complexity), the OR joins of multi-region set/reset networks (one
-    literal per joined cover), and one C element per state-holding
-    signal.
+    Sums :func:`signal_logic_cost` over every signal plus one C element
+    per state-holding signal.
     """
     literals = 0
     c_elements = 0
     for impl in implementations.values():
-        if impl.is_combinational:
-            literals += impl.complete_complexity or 0
-            continue
-        c_elements += 1
-        for covers in (impl.set_covers, impl.reset_covers):
-            literals += sum(rc.complexity for rc in covers)
-            if len(covers) > 1:
-                literals += len(covers)  # the OR join network
+        literals += signal_logic_cost(impl)
+        if not impl.is_combinational:
+            c_elements += 1
     return literals, c_elements
 
 

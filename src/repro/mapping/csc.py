@@ -11,32 +11,70 @@ different output events.
 
 CSC conflicts are, by definition, *not* separable by any function of
 the existing signals (the conflicting states have equal codes), so
-candidate blocks are generated extensionally from the event structure:
-for every ordered pair of events ``(u, v)``, the block "after ``u``
-until ``v``" — the forward closure of ``u``'s switching regions, cut at
-states where ``v`` is enabled.  This family contains the classic
-hand-made CSC signals (request-seen, phase, done flags).
+candidate blocks must be generated extensionally.  Two candidate
+families are available, selected by :attr:`CscConfig.method`:
+
+* ``"regions"`` (the reference-[6] method) — blocks are built from the
+  region algebra of :mod:`repro.sg.regions`: the atomic *cones*
+  ``SR_j(e) ∪ QR_j(e)`` of every event, closed under pairwise
+  intersection and difference.  Each surviving candidate is grown into
+  an I-partition, trial-inserted, and priced with the mapper's own
+  cost model (:func:`repro.mapping.cost.signal_logic_cost` of the new
+  signal's resynthesized logic); the solver picks the candidate with
+  the best (conflicts remaining, estimated logic cost) pair.
+* ``"blocks"`` (the original heuristic, kept as a reproducible
+  fallback) — for every ordered pair of events ``(u, v)``, the block
+  "after ``u`` until ``v``": the forward closure of ``u``'s switching
+  regions, cut at states where ``v`` is enabled.  The first candidate
+  that reduces the conflict count wins.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field, replace
+from typing import (Dict, FrozenSet, Iterable, List, Optional, Sequence,
+                    Set, Tuple)
 
-from repro.errors import CscViolation, InsertionError
+from repro.errors import CoverError, CscViolation, InsertionError
 from repro.mapping.insertion import insert_signal
-from repro.mapping.partition import compute_insertion_sets_from_states
+from repro.mapping.partition import (compute_insertion_sets_from_states,
+                                     input_border)
 from repro.sg.graph import Event, State, StateGraph, event_signal
-from repro.sg.properties import csc_violations
-from repro.sg.regions import excitation_regions, switching_region
+from repro.sg.regions import (encoding_atoms, excitation_regions,
+                              switching_region)
+
+#: the candidate families :attr:`CscConfig.method` may select
+CSC_METHODS = ("regions", "blocks")
+
+
+@dataclass(frozen=True)
+class CscConfig:
+    """Tuning knobs of the CSC solver.
+
+    ``method`` selects the candidate-block family (``"regions"`` is the
+    reference-[6] algebra, ``"blocks"`` the original after-u-until-v
+    heuristic); ``max_signals`` bounds the number of inserted encoding
+    signals; ``max_candidates`` bounds the trial insertions evaluated
+    per signal; ``signal_prefix`` names the inserted signals.
+    """
+
+    method: str = "blocks"
+    max_signals: int = 8
+    max_candidates: int = 24
+    signal_prefix: str = "csc"
+
+    def __post_init__(self):
+        if self.method not in CSC_METHODS:
+            raise ValueError(
+                f"unknown CSC method {self.method!r} "
+                f"(choose from {', '.join(CSC_METHODS)})")
 
 
 def csc_conflicts(sg: StateGraph) -> List[Tuple[State, State]]:
     """All unordered state pairs sharing a code but enabling different
     output events."""
-    by_code: Dict[Tuple, List[State]] = {}
-    for state in sg.states:
-        by_code.setdefault(sg.code(state).items(), []).append(state)
+    from repro.sg.properties import states_by_code
+    by_code = states_by_code(sg)
     outputs = set(sg.outputs)
     conflicts: List[Tuple[State, State]] = []
     for states in by_code.values():
@@ -53,8 +91,12 @@ def csc_conflicts(sg: StateGraph) -> List[Tuple[State, State]]:
     return conflicts
 
 
+# ----------------------------------------------------------------------
+# Candidate families
+# ----------------------------------------------------------------------
+
 def _event_blocks(sg: StateGraph) -> List[Tuple[str, Set[State]]]:
-    """Candidate encoding blocks: "after u, until v" state sets."""
+    """Legacy candidate blocks: "after u, until v" state sets."""
     events: List[Event] = sorted({
         event for state in sg.states
         for event, _ in sg.successors(state)})
@@ -98,6 +140,53 @@ def _forward_until(sg: StateGraph, sources: Set[State],
     return block
 
 
+def _region_blocks(sg: StateGraph) -> List[Tuple[str, Set[State]]]:
+    """Regions-based candidate blocks (reference [6]).
+
+    Three sources, all rooted in the region algebra of
+    :mod:`repro.sg.regions`:
+
+    * the *atoms* — event cones ``SR_j ∪ QR_j``, excitation regions and
+      signal half-spaces (:func:`~repro.sg.regions.encoding_atoms`);
+    * their closure under one level of pairwise intersection and
+      difference — intersections express "both u and v have happened"
+      windows, differences "after u but not yet v" windows;
+    * the inter-event *slices*: for every event pair, the forward
+      closure of ``u``'s switching regions cut at ``v``'s excitation
+      states — phase windows that span signal toggles, which no
+      single-signal cone can.
+
+    Between them the family covers the classic hand-made CSC signals
+    (phase flags, request-seen latches, done markers) and the finer
+    per-region cuts the event-pair heuristic alone cannot make on
+    multi-region events.
+    """
+    atoms = encoding_atoms(sg)
+    total = len(sg)
+    blocks: List[Tuple[str, Set[State]]] = []
+    seen: Set[FrozenSet[State]] = set()
+
+    def add(label: str, states: Iterable[State]) -> None:
+        states = frozenset(states)
+        if not states or len(states) == total:
+            return
+        if states in seen:
+            return
+        seen.add(states)
+        blocks.append((label, set(states)))
+
+    for label, atom in atoms:
+        add(label, atom)
+    for i, (label_a, atom_a) in enumerate(atoms):
+        for label_b, atom_b in atoms[i + 1:]:
+            add(f"{label_a} ∩ {label_b}", atom_a & atom_b)
+            add(f"{label_a} − {label_b}", atom_a - atom_b)
+            add(f"{label_b} − {label_a}", atom_b - atom_a)
+    for label, block in _event_blocks(sg):
+        add(label, block)
+    return blocks
+
+
 def _separated(sg: StateGraph, block: Set[State],
                conflicts: Sequence[Tuple[State, State]]) -> int:
     """How many conflict pairs the block splits (one in, one out)."""
@@ -105,14 +194,27 @@ def _separated(sg: StateGraph, block: Set[State],
                if (left in block) != (right in block))
 
 
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+
 @dataclass
 class CscStep:
-    """One inserted encoding signal."""
+    """One inserted encoding signal.
+
+    ``cost`` is the estimated logic cost of the inserted signal
+    (:func:`repro.mapping.cost.signal_logic_cost` on the candidate
+    graph; ``None`` under the legacy method, which does not price
+    candidates), ``candidates_evaluated`` counts the trial insertions
+    paid for before this signal was chosen.
+    """
 
     signal: str
     block_label: str
     conflicts_before: int
     conflicts_after: int
+    cost: Optional[int] = None
+    candidates_evaluated: int = 0
 
 
 @dataclass
@@ -121,53 +223,221 @@ class CscResult:
 
     sg: StateGraph
     steps: List[CscStep] = field(default_factory=list)
+    method: str = "blocks"
 
     @property
     def inserted_signals(self) -> int:
         return len(self.steps)
 
+    @property
+    def candidates_evaluated(self) -> int:
+        """Trial insertions paid for across the whole solve."""
+        return sum(step.candidates_evaluated for step in self.steps)
 
-def solve_csc(sg: StateGraph, max_signals: int = 8,
-              signal_prefix: str = "csc") -> CscResult:
+    @property
+    def inserted_names(self) -> List[str]:
+        return [step.signal for step in self.steps]
+
+    def stats(self) -> Dict[str, int]:
+        """Flat telemetry counters (merged into ``RunRecord.stats``)."""
+        return {
+            "signals_inserted": self.inserted_signals,
+            "candidates_evaluated": self.candidates_evaluated,
+        }
+
+    def summary(self) -> str:
+        if not self.steps:
+            return f"CSC satisfied, no signals inserted ({self.method})"
+        return (f"{self.inserted_signals} state signals inserted "
+                f"({self.method}, {self.candidates_evaluated} "
+                "candidates evaluated)")
+
+
+# ----------------------------------------------------------------------
+# The solver
+# ----------------------------------------------------------------------
+
+def solve_csc(sg: StateGraph, max_signals: Optional[int] = None,
+              signal_prefix: Optional[str] = None,
+              config: Optional[CscConfig] = None,
+              method: Optional[str] = None) -> CscResult:
     """Insert encoding signals until the state graph satisfies CSC.
 
-    Raises :class:`CscViolation` if the conflict count cannot be driven
-    to zero within ``max_signals`` insertions (the candidate family is
-    heuristic, not complete).
+    ``config`` bundles every knob; the ``max_signals`` /
+    ``signal_prefix`` / ``method`` arguments are conveniences layered
+    on top of it (an argument passed explicitly — i.e. not ``None`` —
+    wins over the config's field).  Raises :class:`CscViolation` if
+    the conflict count cannot be driven to zero within the insertion
+    budget (both candidate families are heuristic, not complete).
     """
+    if config is None:
+        config = CscConfig()
+    if max_signals is not None:
+        config = replace(config, max_signals=max_signals)
+    if signal_prefix is not None:
+        config = replace(config, signal_prefix=signal_prefix)
+    if method is not None:
+        config = replace(config, method=method)
+
     current = sg.copy()
     steps: List[CscStep] = []
-    for index in range(max_signals):
+    for index in range(config.max_signals):
         conflicts = csc_conflicts(current)
         if not conflicts:
-            return CscResult(current, steps)
-        candidates = []
-        for label, block in _event_blocks(current):
-            split = _separated(current, block, conflicts)
-            if split:
-                candidates.append((-split, len(block), label, block))
-        candidates.sort(key=lambda item: item[:3])
-        name = f"{signal_prefix}{index}"
-        inserted = None
-        for _, _, label, block in candidates[:24]:
-            try:
-                partition = compute_insertion_sets_from_states(
-                    current, block)
-                candidate_sg = insert_signal(current, partition, name,
-                                             require_csc=False).sg
-            except InsertionError:
-                continue
-            remaining = csc_conflicts(candidate_sg)
-            if len(remaining) < len(conflicts):
-                inserted = (candidate_sg, label, len(remaining))
-                break
-        if inserted is None:
+            return CscResult(current, steps, config.method)
+        name = _fresh_name(current, config.signal_prefix, index)
+        if config.method == "regions":
+            step = _insert_best_region_block(current, conflicts, name,
+                                             config)
+        else:
+            step = _insert_first_improving_block(current, conflicts,
+                                                 name, config)
+        if step is None:
             raise CscViolation(
-                f"CSC solving stalled with {len(conflicts)} conflicts "
-                f"after {len(steps)} insertions")
-        current, label, remaining = inserted
-        steps.append(CscStep(name, label, len(conflicts), remaining))
+                f"CSC solving ({config.method}) stalled with "
+                f"{len(conflicts)} conflicts after {len(steps)} "
+                "insertions")
+        current, record = step
+        steps.append(record)
     if csc_conflicts(current):
         raise CscViolation(
-            f"CSC not solved within {max_signals} signal insertions")
-    return CscResult(current, steps)
+            f"CSC not solved within {config.max_signals} signal "
+            "insertions")
+    return CscResult(current, steps, config.method)
+
+
+def _fresh_name(sg: StateGraph, prefix: str, index: int) -> str:
+    name = f"{prefix}{index}"
+    taken = set(sg.signals)
+    suffix = index
+    while name in taken:
+        suffix += 1
+        name = f"{prefix}{suffix}"
+    return name
+
+
+def _ranked_blocks(sg: StateGraph,
+                   blocks: Iterable[Tuple[str, Set[State]]],
+                   conflicts: Sequence[Tuple[State, State]],
+                   with_borders: bool = False
+                   ) -> List[Tuple[Tuple, str, Set[State]]]:
+    """Pre-rank candidate blocks before any insertion is paid for.
+
+    Primary key: conflict pairs split (desc).  With ``with_borders``
+    (the regions method) the first tie-breaker is the combined
+    input-border size — the borders seed the new signal's excitation
+    regions, so they bound its trigger logic from below; the legacy
+    method keeps its historical ``(block size, label)`` order so its
+    results stay reproducible.
+    """
+    ranked = []
+    for label, block in blocks:
+        split = _separated(sg, block, conflicts)
+        if not split:
+            continue
+        if with_borders:
+            complement = set(sg.states) - block
+            border = (len(input_border(sg, block))
+                      + len(input_border(sg, complement)))
+            key = (-split, border, len(block), label)
+        else:
+            key = (-split, len(block), label)
+        ranked.append((key, label, block))
+    ranked.sort(key=lambda item: item[0])
+    return ranked
+
+
+def _try_insertion(sg: StateGraph, block: Set[State],
+                   name: str) -> Optional[StateGraph]:
+    """Grow the block into an I-partition and trial-insert ``name``;
+    ``None`` when the block admits no legal SIP-preserving insertion."""
+    try:
+        partition = compute_insertion_sets_from_states(sg, block)
+        return insert_signal(sg, partition, name,
+                             require_csc=False).sg
+    except InsertionError:
+        return None
+
+
+def _insert_first_improving_block(
+        sg: StateGraph, conflicts: Sequence[Tuple[State, State]],
+        name: str, config: CscConfig
+        ) -> Optional[Tuple[StateGraph, CscStep]]:
+    """The legacy strategy: first candidate that reduces conflicts."""
+    ranked = _ranked_blocks(sg, _event_blocks(sg), conflicts)
+    evaluated = 0
+    for _, label, block in ranked[:config.max_candidates]:
+        candidate_sg = _try_insertion(sg, block, name)
+        evaluated += 1
+        if candidate_sg is None:
+            continue
+        remaining = csc_conflicts(candidate_sg)
+        if len(remaining) < len(conflicts):
+            record = CscStep(name, label, len(conflicts),
+                             len(remaining),
+                             candidates_evaluated=evaluated)
+            return candidate_sg, record
+    return None
+
+
+def _candidate_cost(candidate_sg: StateGraph, name: str) -> int:
+    """Estimated logic cost of the freshly inserted signal ``name``.
+
+    When the candidate graph already admits a monotonous cover for the
+    signal, the estimate is exact: :func:`~repro.mapping.cost.
+    signal_logic_cost` of the synthesized implementation — the same
+    measure the mapper prices gates with.  While conflicts remain, the
+    cover may not exist yet (the surviving conflicts can overlap the
+    new signal's own ON/OFF sets); the fallback prices the trigger
+    logic instead: one literal per trigger event of each excitation
+    region of the signal, which lower-bounds any eventual gate (§2.2:
+    trigger signals are necessarily gate inputs).
+    """
+    from repro.mapping.cost import signal_logic_cost
+    from repro.sg.regions import trigger_events
+    from repro.synthesis.cover import synthesize_signal
+
+    try:
+        return signal_logic_cost(synthesize_signal(candidate_sg, name))
+    except CoverError:
+        literals = 0
+        for event in (f"{name}+", f"{name}-"):
+            for region in excitation_regions(candidate_sg, event):
+                literals += len(trigger_events(candidate_sg, region))
+        return literals
+
+
+def _insert_best_region_block(
+        sg: StateGraph, conflicts: Sequence[Tuple[State, State]],
+        name: str, config: CscConfig
+        ) -> Optional[Tuple[StateGraph, CscStep]]:
+    """The regions strategy: evaluate the top candidates of the region
+    algebra and keep the one with the best (conflicts remaining,
+    estimated logic cost) pair."""
+    ranked = _ranked_blocks(sg, _region_blocks(sg), conflicts,
+                            with_borders=True)
+    best: Optional[Tuple[Tuple, StateGraph, CscStep]] = None
+    evaluated = 0
+    for _, label, block in ranked[:config.max_candidates]:
+        candidate_sg = _try_insertion(sg, block, name)
+        evaluated += 1
+        if candidate_sg is None:
+            continue
+        remaining = csc_conflicts(candidate_sg)
+        if len(remaining) >= len(conflicts):
+            continue
+        if best is not None and len(remaining) > best[0][0]:
+            # conflicts-remaining dominates the score: this candidate
+            # cannot beat the incumbent, skip the (expensive) pricing
+            continue
+        cost = _candidate_cost(candidate_sg, name)
+        score = (len(remaining), cost, len(candidate_sg), label)
+        if best is None or score < best[0]:
+            record = CscStep(name, label, len(conflicts),
+                             len(remaining), cost=cost)
+            best = (score, candidate_sg, record)
+    if best is None:
+        return None
+    _, candidate_sg, record = best
+    record.candidates_evaluated = evaluated
+    return candidate_sg, record

@@ -64,6 +64,10 @@ class MapperConfig:
     global_acknowledgment: bool = True
     use_progress_filters: bool = True
     solve_csc: bool = False
+    #: candidate family of the CSC solver: "blocks" (the original
+    #: after-u-until-v heuristic) or "regions" (the reference-[6]
+    #: region-algebra method); only consulted when ``solve_csc`` is on
+    csc_method: str = "blocks"
     #: resynthesize only the signals an insertion actually touched
     #: (byte-identical results to the legacy full pass; False forces
     #: the paper's "resynthesize everything from scratch")
@@ -240,7 +244,8 @@ class TechnologyMapper:
             sg = circuit.copy()
         if self.config.solve_csc:
             from repro.mapping.csc import solve_csc
-            sg = solve_csc(sg, signal_prefix="csc").sg
+            sg = solve_csc(sg, signal_prefix="csc",
+                           method=self.config.csc_method).sg
             implementations = None
         assert_implementable(sg)
 

@@ -142,8 +142,14 @@ def compute_insertion_sets_from_states(sg: StateGraph,
     return partition
 
 
-def _input_border(sg: StateGraph, half: Set[State]) -> Set[State]:
-    """States of ``half`` with a predecessor outside it (IB, §2.3)."""
+def input_border(sg: StateGraph, half: Set[State]) -> Set[State]:
+    """States of ``half`` with a predecessor outside it (IB, §2.3).
+
+    Public because the CSC solver uses border sizes as a cheap cost
+    proxy when pre-ranking candidate blocks: the borders seed the
+    excitation regions of the inserted signal, so a wide border means
+    wide trigger logic before any growth has been paid for.
+    """
     border = set()
     for state in half:
         for _, source in sg.predecessors(state):
@@ -151,6 +157,10 @@ def _input_border(sg: StateGraph, half: Set[State]) -> Set[State]:
                 border.add(state)
                 break
     return border
+
+
+#: backwards-compatible alias (pre-regions-solver name)
+_input_border = input_border
 
 
 def _grow(sg: StateGraph, seed: Set[State], half: Set[State],

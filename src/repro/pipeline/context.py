@@ -151,28 +151,55 @@ class SynthesisContext:
         """The encoded state graph (one reachability pass per circuit)."""
         return self._artifact("sg", (), lambda: state_graph_of(self._stg))
 
-    def csc_state_graph(self, max_signals: int = 8,
-                        signal_prefix: str = "csc") -> StateGraph:
-        """The CSC-resolved state graph (state-signal insertion)."""
-        def compute() -> StateGraph:
+    def csc_result(self, max_signals: int = 8,
+                   signal_prefix: str = "csc",
+                   method: str = "blocks"):
+        """The full CSC solve (state graph + steps + telemetry).
+
+        The artifact is the whole :class:`~repro.mapping.csc.CscResult`
+        so that a warm cache hit still carries the per-step telemetry
+        (``signals_inserted`` / ``candidates_evaluated``) the pipeline
+        reports.
+        """
+        def compute():
             from repro.mapping.csc import solve_csc
             return solve_csc(self.state_graph(), max_signals=max_signals,
-                             signal_prefix=signal_prefix).sg
-        return self._artifact("csc", (max_signals, signal_prefix),
-                              compute)
+                             signal_prefix=signal_prefix, method=method)
+        return self._artifact("csc", (method, max_signals,
+                                      signal_prefix), compute)
 
-    def implementations(self, csc: bool = False
+    def csc_state_graph(self, max_signals: int = 8,
+                        signal_prefix: str = "csc",
+                        method: str = "blocks") -> StateGraph:
+        """The CSC-resolved state graph (state-signal insertion)."""
+        return self.csc_result(max_signals=max_signals,
+                               signal_prefix=signal_prefix,
+                               method=method).sg
+
+    def implementations(self, csc: bool = False,
+                        csc_method: str = "blocks"
                         ) -> Dict[str, SignalImplementation]:
-        """Monotonous covers for every output (one initial synthesis)."""
-        sg = self.csc_state_graph() if csc else self.state_graph()
-        return self._artifact("implementations", (csc,),
+        """Monotonous covers for every output (one initial synthesis).
+
+        The cache key only mentions the CSC method when CSC solving is
+        on — without it every method maps to the same raw state graph,
+        and keeping the historical key means old store entries stay
+        warm.
+        """
+        sg = (self.csc_state_graph(method=csc_method) if csc
+              else self.state_graph())
+        params = (csc, csc_method) if csc else (csc,)
+        return self._artifact("implementations", params,
                               lambda: synthesize_all(sg))
 
-    def initial_netlist(self, csc: bool = False) -> Netlist:
+    def initial_netlist(self, csc: bool = False,
+                        csc_method: str = "blocks") -> Netlist:
         """The complex-gate standard-C netlist before mapping."""
+        params = (csc, csc_method) if csc else (csc,)
         return self._artifact(
-            "netlist", (csc,),
-            lambda: Netlist(self.name, self.implementations(csc)))
+            "netlist", params,
+            lambda: Netlist(self.name,
+                            self.implementations(csc, csc_method)))
 
     def check(self):
         """The speed-independence / implementability property report."""
@@ -203,10 +230,13 @@ class SynthesisContext:
                 run_config = replace(base, solve_csc=False)
             if mode == "local":
                 run_config = run_config.local_ack()
-            sg = self.csc_state_graph() if csc else self.state_graph()
+            sg = (self.csc_state_graph(method=base.csc_method) if csc
+                  else self.state_graph())
             mapper = TechnologyMapper(GateLibrary(literals), run_config)
-            result = mapper.map(sg,
-                                implementations=self.implementations(csc))
+            result = mapper.map(
+                sg,
+                implementations=self.implementations(csc,
+                                                     base.csc_method))
             self.stats["signals_resynthesized"] += (
                 result.trial_resynthesized)
             self.stats["signals_reused"] += result.trial_reused

@@ -87,6 +87,14 @@ class RunRecord:
                 f"{self.stats.get('disk_bytes_written', 0)} bytes "
                 f"written")
 
+    def csc_summary(self) -> str:
+        """One line of CSC-solver telemetry (only meaningful when the
+        run solved CSC — the counters ride on the csc artifact)."""
+        return (f"csc: {self.stats.get('signals_inserted', 0)} state "
+                f"signals inserted, "
+                f"{self.stats.get('candidates_evaluated', 0)} "
+                "candidates evaluated")
+
     def artifact_summary(self) -> str:
         """Per-kind compute counts — ``sg=0`` on a warm run means the
         reachability pass was served from the store, not redone."""
@@ -179,12 +187,14 @@ class Pipeline:
         # the conflict-free graph — the raw one may not even be
         # synthesizable (overlapping ON/OFF sets).
         csc = mapper_config.solve_csc
+        method = mapper_config.csc_method
+        csc_result = None
         if csc:
             with _timed(record, "csc"):
-                context.csc_state_graph()
+                csc_result = context.csc_result(method=method)
 
         with _timed(record, "synthesize"):
-            context.implementations(csc)
+            context.implementations(csc, method)
 
         mappings: Dict[Tuple[int, str], MappingResult] = {}
         with _timed(record, "map"):
@@ -197,9 +207,14 @@ class Pipeline:
                 record.verified = self._verify(mappings)
 
         with _timed(record, "report"):
-            record.row = self._report(context, mappings, csc)
+            record.row = self._report(context, mappings, csc, method,
+                                      csc_result)
 
         record.stats = dict(context.stats)
+        if csc_result is not None:
+            # CSC telemetry rides on the artifact, so a warm cache hit
+            # still reports how the solve went.
+            record.stats.update(csc_result.stats())
         for counter, value in context.cache.telemetry().items():
             # attribute only this run's cache traffic (the cache may
             # be shared across many runs in one process)
@@ -224,12 +239,15 @@ class Pipeline:
         return None
 
     def _report(self, context: SynthesisContext, mappings,
-                csc: bool = False):
+                csc: bool = False, method: str = "blocks",
+                csc_result=None):
         """Assemble the Table-1 row from the battery results.
 
         With CSC solving on, the histogram / non-SI columns describe
         the conflict-free graph (the raw one may not be synthesizable);
-        for CSC-clean circuits the two are identical.
+        for CSC-clean circuits the two are identical.  ``csc_result``
+        feeds the auxiliary inserted-state-signals column (absent on
+        runs without CSC solving, keeping legacy rows byte-identical).
         """
         from repro.baselines.tech_decomp import tech_decomp_cost
         from repro.mapping.cost import implementation_cost
@@ -256,14 +274,16 @@ class Pipeline:
             local = mappings[(2, "local")]
             siegel = local.inserted_signals if local.success else None
 
-        implementations = context.implementations(csc)
+        implementations = context.implementations(csc, method)
         return Table1Row(
             name=context.name,
-            histogram=context.initial_netlist(csc).stats()
+            histogram=context.initial_netlist(csc, method).stats()
             .histogram_row(7),
             inserted=inserted,
             siegel_2lit=siegel,
             non_si_cost=tech_decomp_cost(implementations, smallest),
             si_cost=si_cost,
             siegel_ran=siegel_ran,
+            csc_signals=(csc_result.inserted_signals
+                         if csc_result is not None else None),
         )

@@ -52,7 +52,9 @@ STORE_LAYOUT = "v1"
 #: listed here are never persisted.
 ARTIFACT_FORMATS: Dict[str, int] = {
     "sg": 1,
-    "csc": 1,
+    # v2: the artifact is the whole CscResult (graph + steps +
+    # telemetry), not just the solved StateGraph
+    "csc": 2,
     "implementations": 1,
     "netlist": 1,
     "check": 1,

@@ -34,19 +34,24 @@ class Table1Row:
     non_si_cost: Tuple[int, int]         # (literals, C elements), smallest k
     si_cost: Optional[Tuple[int, int]]   # same, ours; None if n.i.
     siegel_ran: bool = True              # False: baseline not configured
+    csc_signals: Optional[int] = None    # state signals inserted by the
+                                         # CSC stage; None = stage not run
 
     @property
     def libraries(self) -> Tuple[int, ...]:
         """The library sizes this row actually ran."""
         return tuple(sorted(self.inserted))
 
-    def cells(self, libraries: Optional[Sequence[int]] = None
-              ) -> List[str]:
+    def cells(self, libraries: Optional[Sequence[int]] = None,
+              with_csc: bool = False) -> List[str]:
         """One formatted cell per column.
 
         Columns follow the *configured* libraries (this row's own by
         default): a library that never ran renders as ``"-"`` — only a
-        mapping that ran and failed is ``"n.i."``.
+        mapping that ran and failed is ``"n.i."``.  ``with_csc``
+        appends the auxiliary inserted-state-signals column (``"-"``
+        when this row's run skipped the CSC stage); without it the cell
+        list is byte-identical to the historical layout.
         """
         chosen = (tuple(libraries) if libraries is not None
                   else self.libraries)
@@ -57,13 +62,17 @@ class Table1Row:
         def fmt_cost(value: Optional[Tuple[int, int]]) -> str:
             return "-" if value is None else f"{value[0]}/{value[1]}"
 
-        return ([self.name]
-                + [str(n) if n else "" for n in self.histogram]
-                + [fmt_ins(self.inserted[k]) if k in self.inserted
-                   else "-" for k in chosen]
-                + [fmt_ins(self.siegel_2lit) if self.siegel_ran
-                   else "-"]
-                + [fmt_cost(self.non_si_cost), fmt_cost(self.si_cost)])
+        cells = ([self.name]
+                 + [str(n) if n else "" for n in self.histogram]
+                 + [fmt_ins(self.inserted[k]) if k in self.inserted
+                    else "-" for k in chosen]
+                 + [fmt_ins(self.siegel_2lit) if self.siegel_ran
+                    else "-"]
+                 + [fmt_cost(self.non_si_cost), fmt_cost(self.si_cost)])
+        if with_csc:
+            cells.append("-" if self.csc_signals is None
+                         else str(self.csc_signals))
+        return cells
 
 
 def table1_row(name: str, libraries: Sequence[int] = (2, 3, 4),
@@ -83,11 +92,15 @@ def table1_row(name: str, libraries: Sequence[int] = (2, 3, 4),
     return pipeline.run(name).row
 
 
-def header_for(libraries: Sequence[int]) -> List[str]:
+def header_for(libraries: Sequence[int],
+               with_csc: bool = False) -> List[str]:
     """The column headers for a configured library battery."""
-    return (["circuit"] + [f"n={n}" for n in (2, 3, 4, 5, 6)]
-            + ["n>=7"] + [f"i={k}" for k in libraries] + ["[12]"]
-            + ["non-SI", "SI"])
+    header = (["circuit"] + [f"n={n}" for n in (2, 3, 4, 5, 6)]
+              + ["n>=7"] + [f"i={k}" for k in libraries] + ["[12]"]
+              + ["non-SI", "SI"])
+    if with_csc:
+        header.append("csc")
+    return header
 
 
 def format_rows(rows: Sequence[Table1Row]) -> str:
@@ -95,11 +108,16 @@ def format_rows(rows: Sequence[Table1Row]) -> str:
 
     The ``i=k`` column group follows the libraries the rows were
     actually configured with — ``si-mapper report -k 3`` prints one
-    ``i=3`` column instead of pretending k=2/4 ran and failed.
+    ``i=3`` column instead of pretending k=2/4 ran and failed.  The
+    auxiliary ``csc`` column (state signals inserted by the CSC stage)
+    appears only when at least one row ran that stage, so legacy
+    reports stay byte-identical.
     """
     libraries = sorted({k for row in rows for k in row.libraries})
-    header = header_for(libraries)
-    table = [header] + [row.cells(libraries) for row in rows]
+    with_csc = any(row.csc_signals is not None for row in rows)
+    header = header_for(libraries, with_csc)
+    table = [header] + [row.cells(libraries, with_csc)
+                        for row in rows]
     widths = [max(len(line[col]) for line in table)
               for col in range(len(header))]
     lines = []

@@ -18,7 +18,7 @@ library exception.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.errors import (ConsistencyError, CscViolation,
                           SpeedIndependenceError)
@@ -116,12 +116,26 @@ def persistency_violations(sg: StateGraph,
     return problems
 
 
+def states_by_code(sg: StateGraph) -> Dict[FrozenSet, List]:
+    """Group the reachable states by their binary code.
+
+    The key is the code as a *mapping* (frozenset of items), never any
+    ordering of the signal vector — both CSC checkers (this module and
+    the solver's :func:`repro.mapping.csc.csc_conflicts`) must stay
+    stable across signal orderings, and they must agree on what "same
+    code" means.
+    """
+    by_code: Dict[FrozenSet, List] = {}
+    for state in sg.states:
+        by_code.setdefault(frozenset(sg.code(state).items()),
+                           []).append(state)
+    return by_code
+
+
 def csc_violations(sg: StateGraph) -> List[str]:
     """Complete State Coding: same code ⇒ same enabled output events."""
     problems: List[str] = []
-    by_code: Dict[Tuple, List] = {}
-    for state in sg.states:
-        by_code.setdefault(sg.code(state).items(), []).append(state)
+    by_code = states_by_code(sg)
     outputs = set(sg.outputs)
     for code, states in by_code.items():
         if len(states) < 2:
@@ -134,7 +148,7 @@ def csc_violations(sg: StateGraph) -> List[str]:
             if reference is None:
                 reference = enabled_outputs
             elif enabled_outputs != reference:
-                bits = "".join(str(v) for _, v in code)
+                bits = "".join(str(v) for _, v in sorted(code))
                 problems.append(
                     f"states sharing code {bits} enable different "
                     f"output events ({sorted(reference)} vs "

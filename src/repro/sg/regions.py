@@ -19,7 +19,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import (Dict, FrozenSet, List, Optional, Sequence, Set,
+                    Tuple)
 
 from repro.sg.graph import Event, State, StateGraph, event_signal
 
@@ -131,6 +132,87 @@ def quiescent_regions_by_event(sg: StateGraph,
     regions = excitation_regions(sg, event)
     return [(region, quiescent_region(sg, region, regions))
             for region in regions]
+
+
+def event_cones(sg: StateGraph, event: Event,
+                regions: Optional[List[ExcitationRegion]] = None
+                ) -> List[Tuple[str, FrozenSet[State]]]:
+    """The labelled *cones* of one event: per excitation region, the
+    states where ``event`` "has just happened" — entered by firing it
+    and kept while its signal is stable (``SR_j ∪ QR_j``).
+
+    Cones are the atoms of the encoding-block algebra used by the
+    regions-based CSC solver (reference [6] of the paper): unlike any
+    function of the existing signals, a cone can separate two states
+    that share a binary code, because membership is defined by the
+    *history* of the state, not its code.  ``regions`` may carry the
+    event's precomputed excitation regions to avoid a second scan.
+    """
+    if regions is None:
+        regions = excitation_regions(sg, event)
+    cones: List[Tuple[str, FrozenSet[State]]] = []
+    for region in regions:
+        cone = switching_region(sg, region) | quiescent_region(
+            sg, region, regions)
+        if cone:
+            label = (f"SR∪QR({event})" if len(regions) == 1
+                     else f"SR∪QR_{region.index}({event})")
+            cones.append((label, frozenset(cone)))
+    return cones
+
+
+def encoding_atoms(sg: StateGraph) -> List[Tuple[str, FrozenSet[State]]]:
+    """Atomic encoding blocks of the region algebra.
+
+    Three families of atoms, all extensional:
+
+    * the *cones* ``SR_j(e) ∪ QR_j(e)`` of every event (plus the union
+      cone of multi-region events) — where ``e`` has just happened;
+    * the excitation regions ``ER_j(e)`` themselves (plus unions) —
+      where ``e`` is about to happen;
+    * the signal half-spaces ``{s : code(s)(a) = 1}`` — alone they can
+      never separate a CSC conflict (the conflicting states share
+      their code), but their intersections and differences with the
+      history-dependent atoms cut exactly the phase windows the
+      hand-made encoding signals use.
+
+    Atoms are deduplicated by state set (first label wins) and returned
+    in deterministic order; the CSC solver composes them pairwise into
+    candidate insertion blocks.
+    """
+    events: List[Event] = sorted({event for state in sg.states
+                                  for event, _ in sg.successors(state)})
+    atoms: List[Tuple[str, FrozenSet[State]]] = []
+    seen: Set[FrozenSet[State]] = set()
+
+    def add(label: str, states: FrozenSet[State]) -> None:
+        if not states or len(states) == len(sg):
+            return
+        if states in seen:
+            return
+        seen.add(states)
+        atoms.append((label, states))
+
+    for event in events:
+        regions = excitation_regions(sg, event)
+        cones = event_cones(sg, event, regions)
+        for label, cone in cones:
+            add(label, cone)
+        if len(cones) > 1:
+            union: FrozenSet[State] = frozenset().union(
+                *(cone for _, cone in cones))
+            add(f"SR∪QR({event})", union)
+        for region in regions:
+            label = (f"ER({event})" if len(regions) == 1
+                     else f"ER_{region.index}({event})")
+            add(label, region.states)
+        if len(regions) > 1:
+            add(f"ER({event})", frozenset().union(
+                *(region.states for region in regions)))
+    for signal in sg.signals:
+        add(f"[{signal}=1]",
+            frozenset(s for s in sg.states if sg.code(s)[signal]))
+    return atoms
 
 
 def trigger_events(sg: StateGraph, region: ExcitationRegion) -> Set[Event]:

@@ -1,0 +1,39 @@
+"""Suite-wide pytest configuration.
+
+Pins a derandomized Hypothesis profile so property-based tests are
+reproducible in CI: no wall-clock deadline (the solver's worst case is
+data-dependent, not a regression signal) and examples derived from a
+fixed seed.  Set ``HYPOTHESIS_PROFILE=dev`` locally to explore with
+fresh random examples instead.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("ci", deadline=None, derandomize=True,
+                          print_blob=True)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+
+
+def chained_sequencer_stg(stages: int = 2):
+    """One request serialized into ``stages`` chained handshakes — the
+    textbook CSC-violation family (every unobserved phase repeat is a
+    conflict).  Shared by the CSC solver tests, the differential
+    harness, the store tests and the CLI tests; ``stages=2`` is the
+    classic "badseq".
+    """
+    from repro.stg.builders import marked_graph
+    arcs = [("r+", "ro1+")]
+    for i in range(1, stages + 1):
+        arcs += [(f"ro{i}+", f"ai{i}+"), (f"ai{i}+", f"ro{i}-"),
+                 (f"ro{i}-", f"ai{i}-")]
+        if i < stages:
+            arcs.append((f"ai{i}-", f"ro{i + 1}+"))
+    arcs += [(f"ai{stages}-", "a+"), ("a+", "r-"), ("r-", "a-")]
+    return marked_graph(
+        "badseq" if stages == 2 else f"seqcsc{stages}",
+        ["r"] + [f"ai{i}" for i in range(1, stages + 1)],
+        ["a"] + [f"ro{i}" for i in range(1, stages + 1)],
+        arcs, [("a-", "r+")])

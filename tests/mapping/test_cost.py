@@ -4,7 +4,8 @@ import pytest
 
 from repro.boolean.sop import SopCover
 from repro.mapping.cost import (cover_complexity, implementation_cost,
-                                non_si_cost, tree_decomposition_cost,
+                                non_si_cost, signal_logic_cost,
+                                tree_decomposition_cost,
                                 tree_literal_cost)
 from repro.synthesis.cover import synthesize_all
 
@@ -87,3 +88,14 @@ class TestImplementationCost:
         literals, c_elements = non_si_cost(implementations, 2)
         assert c_elements == 1
         assert literals == 4  # both covers already fit 2-input gates
+
+    def test_signal_logic_cost_is_the_per_signal_slice(self,
+                                                       celement_sg):
+        """implementation_cost must equal the sum of the per-signal
+        costs — the CSC solver prices candidates with the same measure
+        the Table-1 columns use."""
+        implementations = synthesize_all(celement_sg)
+        literals, _ = implementation_cost(implementations)
+        assert literals == sum(signal_logic_cost(impl)
+                               for impl in implementations.values())
+        assert signal_logic_cost(implementations["c"]) == 4

@@ -262,3 +262,71 @@ class TestWarmStart:
         record = Pipeline(BATTERY).run("half")
         assert record.stats["disk_hits"] == 0
         assert record.stats["disk_writes"] == 0
+
+
+def _badseq_g() -> str:
+    from repro.stg.writer import write_g
+    from tests.conftest import chained_sequencer_stg
+    return write_g(chained_sequencer_stg())
+
+
+BADSEQ_G = _badseq_g()
+
+
+class TestCscArtifact:
+    """The "csc" artifact kind through the persistent store: warm runs
+    serve the solve (and its telemetry) from disk; a stale format
+    stamp degrades to recompute, never to a crash."""
+
+    def _config(self, tmp_path, method="regions"):
+        from repro.mapping.decompose import MapperConfig
+        return PipelineConfig(
+            libraries=(2,), with_siegel=False, keep_artifacts=False,
+            mapper=MapperConfig(solve_csc=True, csc_method=method),
+            cache_dir=str(tmp_path))
+
+    @pytest.mark.parametrize("method", ["regions", "blocks"])
+    def test_warm_run_computes_zero_csc_artifacts(self, tmp_path,
+                                                  method):
+        config = self._config(tmp_path, method)
+        cold = Pipeline(config).run(("badseq", BADSEQ_G))
+        assert cold.stats["csc"] == 1
+        assert cold.stats["signals_inserted"] >= 1
+        warm = Pipeline(config).run(("badseq", BADSEQ_G))
+        assert warm.stats["csc"] == 0            # served from the store
+        assert warm.stats["sg"] == 0
+        assert warm.stats["disk_hits"] > 0
+        # telemetry rides on the artifact: a warm run still reports it
+        assert warm.stats["signals_inserted"] == \
+            cold.stats["signals_inserted"]
+        assert warm.stats["candidates_evaluated"] == \
+            cold.stats["candidates_evaluated"]
+        assert warm.row == cold.row
+        assert warm.row.csc_signals == cold.stats["signals_inserted"]
+        report = DiskArtifactCache(str(tmp_path)).report()
+        assert report.by_kind["csc"][0] == 1
+
+    def test_methods_do_not_alias_in_the_store(self, tmp_path):
+        regions = Pipeline(self._config(tmp_path, "regions")).run(
+            ("badseq", BADSEQ_G))
+        blocks = Pipeline(self._config(tmp_path, "blocks")).run(
+            ("badseq", BADSEQ_G))
+        # the second method must compute its own solve, not reuse the
+        # first one's artifact
+        assert regions.stats["csc"] == 1
+        assert blocks.stats["csc"] == 1
+        report = DiskArtifactCache(str(tmp_path)).report()
+        assert report.by_kind["csc"][0] == 2
+
+    def test_stale_csc_format_recomputes_not_crashes(self, tmp_path,
+                                                     monkeypatch):
+        config = self._config(tmp_path)
+        cold = Pipeline(config).run(("badseq", BADSEQ_G))
+        monkeypatch.setitem(ARTIFACT_FORMATS, "csc",
+                            ARTIFACT_FORMATS["csc"] + 1)
+        warm = Pipeline(config).run(("badseq", BADSEQ_G))
+        assert warm.stats["csc"] == 1            # stale: recomputed
+        assert warm.stats["disk_stale"] >= 1
+        assert warm.row == cold.row
+        assert warm.stats["signals_inserted"] == \
+            cold.stats["signals_inserted"]

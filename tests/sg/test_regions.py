@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.sg.regions import (all_excitation_regions, excitation_regions,
+from repro.sg.regions import (all_excitation_regions, encoding_atoms,
+                              event_cones, excitation_regions,
                               quiescent_region, quiescent_regions_by_event,
                               switching_region, trigger_events,
                               trigger_signals)
@@ -92,3 +93,43 @@ class TestTriggers:
 
     def test_trigger_signals_two_er(self, two_er_sg):
         assert trigger_signals(two_er_sg, "x") == {"a", "b"}
+
+
+class TestEncodingAtoms:
+    def test_cone_is_sr_union_qr(self, celement_sg):
+        (region,) = excitation_regions(celement_sg, "c+")
+        ((label, cone),) = event_cones(celement_sg, "c+")
+        assert label == "SR∪QR(c+)"
+        expected = (switching_region(celement_sg, region)
+                    | quiescent_region(celement_sg, region))
+        assert cone == frozenset(expected)
+
+    def test_multi_region_events_get_indexed_cones(self, two_er_sg):
+        cones = event_cones(two_er_sg, "x+")
+        assert len(cones) == 2
+        assert {label for label, _ in cones} == \
+            {"SR∪QR_1(x+)", "SR∪QR_2(x+)"}
+
+    def test_atoms_are_deduplicated_and_nontrivial(self, celement_sg):
+        atoms = encoding_atoms(celement_sg)
+        seen = set()
+        for label, states in atoms:
+            assert states, label
+            assert len(states) < len(celement_sg), label
+            assert states not in seen, f"duplicate atom {label}"
+            seen.add(states)
+
+    def test_atoms_cover_all_three_families(self, celement_sg):
+        labels = [label for label, _ in encoding_atoms(celement_sg)]
+        assert any(label.startswith("SR∪QR(") for label in labels)
+        assert any(label.startswith("ER(") for label in labels)
+        assert any(label.startswith("[") and label.endswith("=1]")
+                   for label in labels)
+
+    def test_atoms_deterministic(self, two_er_sg):
+        first = encoding_atoms(two_er_sg)
+        second = encoding_atoms(two_er_sg)
+        assert [(label, sorted(map(repr, states)))
+                for label, states in first] == \
+            [(label, sorted(map(repr, states)))
+             for label, states in second]

@@ -159,19 +159,69 @@ b+/2 a+
         assert main(["cache", "stats"]) == 2
         assert "no cache directory" in capsys.readouterr().err
 
+    @staticmethod
+    def _badseq_file(tmp_path):
+        from repro.stg.writer import write_g
+        from tests.conftest import chained_sequencer_stg
+        path = tmp_path / "badseq.g"
+        path.write_text(write_g(chained_sequencer_stg()))
+        return str(path)
+
     def test_map_solve_csc(self, tmp_path, capsys):
         """CSC-violating input: the pipeline must solve CSC before the
         synthesize stage (the raw graph is not even synthesizable)."""
-        from repro.stg.builders import marked_graph
-        from repro.stg.writer import write_g
-        arcs = [("r+", "ro1+"), ("ro1+", "ai1+"), ("ai1+", "ro1-"),
-                ("ro1-", "ai1-"), ("ai1-", "ro2+"), ("ro2+", "ai2+"),
-                ("ai2+", "ro2-"), ("ro2-", "ai2-"), ("ai2-", "a+"),
-                ("a+", "r-"), ("r-", "a-")]
-        stg = marked_graph("badseq", ["r", "ai1", "ai2"],
-                           ["a", "ro1", "ro2"], arcs, [("a-", "r+")])
-        path = tmp_path / "badseq.g"
-        path.write_text(write_g(stg))
-        assert main(["map", str(path), "--solve-csc"]) == 0
+        path = self._badseq_file(tmp_path)
+        assert main(["map", path, "--solve-csc"]) == 0
         out = capsys.readouterr().out
         assert "verification: OK" in out
+
+    @pytest.mark.parametrize("method", ["blocks", "regions"])
+    def test_map_csc_method(self, tmp_path, capsys, method):
+        path = self._badseq_file(tmp_path)
+        assert main(["map", path, "--solve-csc", "--csc-method",
+                     method, "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "verification: OK" in out
+        assert "csc:" in out
+        assert "state signals inserted" in out
+
+    def test_csc_subcommand_conflicted(self, tmp_path, capsys):
+        path = self._badseq_file(tmp_path)
+        assert main(["csc", path, "--csc-method", "regions"]) == 0
+        out = capsys.readouterr().out
+        assert "CSC conflict pairs" in out
+        assert "state signals inserted (regions" in out
+        assert "0 violations remaining" in out
+
+    def test_csc_subcommand_clean_benchmark(self, capsys):
+        assert main(["csc", "half"]) == 0
+        out = capsys.readouterr().out
+        assert "0 CSC conflict pairs" in out
+        assert "no signals inserted" in out
+
+    def test_csc_subcommand_budget_exhausted(self, tmp_path, capsys):
+        path = self._badseq_file(tmp_path)
+        assert main(["csc", path, "--max-signals", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_csc_subcommand_writes_dot(self, tmp_path, capsys):
+        path = self._badseq_file(tmp_path)
+        dot = str(tmp_path / "solved.dot")
+        assert main(["csc", path, "--dot", dot]) == 0
+        assert "digraph" in open(dot).read()
+
+    def test_report_solve_csc_adds_column(self, capsys):
+        assert main(["report", "half", "-k", "2", "--no-siegel",
+                     "-j", "1", "--solve-csc"]) == 0
+        out = capsys.readouterr().out
+        header = [line for line in out.splitlines()
+                  if line.startswith("circuit")][0]
+        assert header.rstrip().endswith("csc")
+
+    def test_report_without_csc_has_no_column(self, capsys):
+        assert main(["report", "half", "-k", "2", "--no-siegel",
+                     "-j", "1"]) == 0
+        out = capsys.readouterr().out
+        header = [line for line in out.splitlines()
+                  if line.startswith("circuit")][0]
+        assert "csc" not in header

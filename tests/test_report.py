@@ -59,6 +59,17 @@ class TestRow:
         assert skipped.cells()[8] == "-"
         assert "[12]" not in summarize([skipped])
 
+    def test_csc_column_only_on_request(self):
+        """The auxiliary csc column must not perturb the legacy cell
+        layout: it only appears with ``with_csc`` and renders '-' for
+        rows whose run skipped the CSC stage."""
+        solved = Table1Row("a", [0] * 6, {2: 1}, None, (10, 2), None,
+                           csc_signals=2)
+        skipped = Table1Row("b", [0] * 6, {2: 1}, None, (10, 2), None)
+        assert len(solved.cells()) == len(skipped.cells()) == 11
+        assert solved.cells(with_csc=True)[-1] == "2"
+        assert skipped.cells(with_csc=True)[-1] == "-"
+
 
 class TestFormatting:
     def test_format_rows_aligns(self, rows):
@@ -72,6 +83,17 @@ class TestFormatting:
         header = format_rows(rows).splitlines()[0]
         assert "i=2" in header
         assert "i=3" not in header and "i=4" not in header
+
+    def test_format_rows_csc_column_follows_rows(self):
+        plain = Table1Row("a", [0] * 6, {2: 1}, None, (10, 2), None)
+        solved = Table1Row("b", [0] * 6, {2: 1}, None, (10, 2), None,
+                           csc_signals=3)
+        assert "csc" not in format_rows([plain]).splitlines()[0]
+        with_csc = format_rows([plain, solved]).splitlines()
+        assert with_csc[0].rstrip().endswith("csc")
+        # the row that never ran the stage renders '-'
+        assert with_csc[2].rstrip().endswith("-")
+        assert with_csc[3].rstrip().endswith("3")
 
     def test_summarize_mentions_claims(self, rows):
         text = summarize(rows)
