@@ -13,8 +13,10 @@ regenerates the paper's tables and figures in bounded time:
 * ``SI_MAPPER_CACHE=DIR`` additionally backs that cache with the
   persistent :class:`repro.pipeline.DiskArtifactCache` at ``DIR`` —
   a second harness run then warm-starts every reach/synthesize/map
-  stage from disk.  Cache telemetry (memory hits, disk hits, bytes)
-  is printed at the end of the session either way.
+  stage from disk; ``SI_MAPPER_CACHE_URL=URL`` does the same against
+  a ``si-mapper serve`` daemon (both together tier disk in front of
+  the server).  Cache telemetry (memory hits, disk hits, remote
+  hits, bytes) is printed at the end of the session either way.
 """
 
 import os
@@ -23,9 +25,9 @@ from typing import Dict
 import pytest
 
 from repro.bench_suite import benchmark_names
+from repro.dist.base import make_store
 from repro.mapping.decompose import MappingResult
-from repro.pipeline import (ArtifactCache, DiskArtifactCache,
-                            SynthesisContext)
+from repro.pipeline import ArtifactCache, SynthesisContext
 
 # Circuits that exercise every regime (small classics, mid-size
 # controllers, high-fanin joins, one of the hard input-dominated ones)
@@ -37,22 +39,24 @@ SUBSET = [
 ]
 
 _CACHE_DIR = os.environ.get("SI_MAPPER_CACHE")
-_CACHE = ArtifactCache(
-    disk=DiskArtifactCache(_CACHE_DIR) if _CACHE_DIR else None)
+_CACHE_URL = os.environ.get("SI_MAPPER_CACHE_URL")
+_CACHE = ArtifactCache(disk=make_store(_CACHE_DIR, _CACHE_URL))
 _CONTEXTS: Dict[str, SynthesisContext] = {}
 
 
 def pytest_terminal_summary(terminalreporter):
     """Surface harness-wide cache telemetry in the benchmark output."""
     telemetry = _CACHE.telemetry()
+    store = " / ".join(filter(None, [_CACHE_DIR, _CACHE_URL]))
     terminalreporter.write_line(
         f"artifact cache: {len(_CACHE)} entries, "
         f"{telemetry['cache_hits']} memory hits, "
         f"{telemetry['disk_hits']} disk hits, "
+        f"{telemetry['remote_hits']} remote hits, "
         f"{telemetry['cache_misses']} computed, "
         f"{telemetry['disk_bytes_read']} bytes read, "
         f"{telemetry['disk_bytes_written']} bytes written"
-        + (f" (store: {_CACHE_DIR})" if _CACHE_DIR else ""))
+        + (f" (store: {store})" if store else ""))
 
 
 def selected_names():

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""A whole distributed Table-1 run on one machine, end to end.
+
+Demonstrates the three layers of :mod:`repro.dist` without needing a
+cluster:
+
+* an ``ArtifactServer`` (what ``si-mapper serve`` runs) serves a
+  content-addressed store on an ephemeral port;
+* two "machines" each run their deterministic shard of the suite
+  against it (``RemoteArtifactCache`` via ``cache_url``), writing the
+  shard files ``si-mapper report --shard i/N --out ...`` would write;
+* the shards are merged into the report and checked — byte-identical
+  to the unsharded single-machine run;
+* a warm re-run of one shard then computes nothing: every artifact is
+  served over HTTP (watch the ``remote hits`` column).
+
+In production the pieces run on separate hosts — see the README's
+"Distributed runs" walkthrough.
+"""
+
+import tempfile
+
+from repro.dist import (ArtifactServer, merge_shards, shard_names,
+                        shard_payload)
+from repro.report import render_report, run_battery
+
+SUITE = ["half", "hazard", "chu133", "dff", "nowick"]
+LIBRARIES = (2,)
+
+
+def run_shard(index, count, url):
+    """One worker machine: its slice of the suite, via the server."""
+    subset = shard_names(SUITE, index, count)
+    print(f"shard {index}/{count} maps {subset}")
+    items = run_battery(subset, libraries=LIBRARIES,
+                        with_siegel=False, jobs=1, cache_url=url)
+    rows = [item.record.row for item in items if item.ok]
+    failures = [(item.name, item.error) for item in items
+                if not item.ok]
+    payload = shard_payload(SUITE, (index, count), LIBRARIES, False,
+                            None, rows, failures)
+    remote_hits = sum(item.record.stats["remote_hits"]
+                      for item in items if item.ok)
+    computed = sum(item.record.stats["sg"] for item in items if item.ok)
+    print(f"  reach passes computed: {computed}, "
+          f"remote hits: {remote_hits}")
+    return payload
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as store_root:
+        with ArtifactServer(store_root, port=0).start_background() \
+                as server:
+            print(f"cache server at {server.url} (store {store_root})")
+
+            shards = [run_shard(1, 2, server.url),
+                      run_shard(2, 2, server.url)]
+            _, _, merged = merge_shards(shards)
+
+            # the single-machine reference, computed without any store
+            items = run_battery(SUITE, libraries=LIBRARIES,
+                                with_siegel=False, jobs=1)
+            reference = render_report(
+                [item.record.row for item in items if item.ok],
+                [(item.name, item.error) for item in items
+                 if not item.ok])
+            print()
+            print(merged)
+            print()
+            print("merged == single-machine report:",
+                  merged == reference)
+
+            # a warm worker: everything comes over the wire
+            print()
+            print("warm re-run of shard 2:")
+            run_shard(2, 2, server.url)
+
+
+if __name__ == "__main__":
+    main()

@@ -10,18 +10,24 @@ Sub-commands:
   Complete State Coding by state-signal insertion and print the steps;
 * ``si-mapper report [names...] [-k ...] [-j JOBS]`` — regenerate
   (part of) Table 1 on the built-in benchmark suite, fanning circuits
-  out over worker processes;
+  out over worker processes; ``--shard i/N`` runs one machine's
+  deterministic slice (writing a shard JSON), ``--merge shard*.json``
+  reassembles the byte-identical single-machine report;
+* ``si-mapper serve`` — run the artifact cache server that remote
+  workers share via ``--cache-url`` / ``SI_MAPPER_CACHE_URL``;
 * ``si-mapper bench-list`` — list the benchmark suite;
 * ``si-mapper show NAME`` — print a built-in benchmark as ``.g``;
 * ``si-mapper cache stats|gc|clear`` — inspect or maintain the
-  persistent artifact store.
+  persistent artifact store (local or remote).
 
 Every command runs through :mod:`repro.pipeline`, so repeated stages
 (reachability, initial synthesis) are computed once per circuit.  With
 ``--cache-dir DIR`` (or the ``SI_MAPPER_CACHE`` environment variable)
 they are computed once *ever*: artifacts persist in an on-disk store
 and later runs — including parallel ``report`` workers — warm-start
-from it.
+from it.  ``--cache-url URL`` (or ``SI_MAPPER_CACHE_URL``) points at a
+``si-mapper serve`` daemon instead, and giving *both* tiers the local
+disk in front of the remote server.
 """
 
 from __future__ import annotations
@@ -34,13 +40,15 @@ from typing import List, Optional
 from repro.bench_suite import benchmark, benchmark_names
 from repro.errors import ReproError
 from repro.mapping.decompose import MapperConfig
-from repro.pipeline import (ArtifactCache, DiskArtifactCache, Pipeline,
-                            PipelineConfig, SynthesisContext)
+from repro.pipeline import (ArtifactCache, Pipeline, PipelineConfig,
+                            SynthesisContext)
 from repro.stg.writer import write_g
 from repro.synthesis.library import GateLibrary
 
 #: environment fallback for ``--cache-dir``
 CACHE_ENV = "SI_MAPPER_CACHE"
+#: environment fallback for ``--cache-url``
+CACHE_URL_ENV = "SI_MAPPER_CACHE_URL"
 
 
 def _cache_dir_of(args: argparse.Namespace) -> Optional[str]:
@@ -48,11 +56,18 @@ def _cache_dir_of(args: argparse.Namespace) -> Optional[str]:
     return getattr(args, "cache_dir", None) or os.environ.get(CACHE_ENV)
 
 
+def _cache_url_of(args: argparse.Namespace) -> Optional[str]:
+    """The cache server address: flag first, then environment."""
+    return (getattr(args, "cache_url", None)
+            or os.environ.get(CACHE_URL_ENV))
+
+
 def _cache_of(args: argparse.Namespace) -> Optional[ArtifactCache]:
-    directory = _cache_dir_of(args)
-    if directory is None:
+    from repro.dist.base import make_store
+    store = make_store(_cache_dir_of(args), _cache_url_of(args))
+    if store is None:
         return None
-    return ArtifactCache(disk=DiskArtifactCache(directory))
+    return ArtifactCache(disk=store)
 
 
 def _solve_csc_requested(args: argparse.Namespace) -> bool:
@@ -71,7 +86,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
                             csc_method=args.csc_method),
         verify=args.verify,
         keep_artifacts=True,
-        cache_dir=_cache_dir_of(args))
+        cache_dir=_cache_dir_of(args),
+        cache_url=_cache_url_of(args))
     record = Pipeline(config).run(args.circuit)
     mode = "local" if args.local_ack else "global"
     result = record.mappings[(args.literals, mode)]
@@ -142,20 +158,70 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.report import table1
-    names = args.names or None
+    from repro.report import render_report, run_battery
+    if args.merge:
+        # --merge renders what the shards recorded; it cannot honor a
+        # different battery configuration, so refuse one instead of
+        # printing a table the flags did not produce
+        reconfigured = (args.literals != [2, 3, 4] or args.no_siegel
+                        or args.jobs is not None
+                        or _solve_csc_requested(args))
+        if args.shard or args.names or args.out or reconfigured:
+            print("error: --merge takes shard files only (it replays "
+                  "nothing, prints to stdout, and renders the shards' "
+                  "own configuration)", file=sys.stderr)
+            return 2
+        from repro.dist.shard import merge_shards, read_shard
+        _, failures, text = merge_shards(
+            [read_shard(path) for path in args.merge])
+        print(text)
+        return 0 if not failures else 1
+
+    if args.out and not args.shard:
+        print("error: --out only makes sense with --shard (the "
+              "report itself goes to stdout)", file=sys.stderr)
+        return 2
+    chosen = list(args.names) if args.names else benchmark_names()
+    shard = None
+    subset = chosen
+    out = None
+    if args.shard:
+        from repro.dist.shard import parse_shard, shard_names
+        shard = parse_shard(args.shard)
+        subset = shard_names(chosen, *shard)
+        out = args.out or (f"table1.shard-{shard[0]}"
+                           f"of{shard[1]}.json")
+        try:
+            # fail on an unwritable destination *before* the battery,
+            # not after tens of minutes of mapping
+            with open(out, "a", encoding="utf-8"):
+                pass
+        except OSError as error:
+            print(f"error: cannot write shard file {out}: {error}",
+                  file=sys.stderr)
+            return 2
     mapper = None
     if _solve_csc_requested(args):
         mapper = MapperConfig(solve_csc=True,
                               csc_method=args.csc_method)
-    rows, text = table1(names, libraries=tuple(args.literals),
+    items = run_battery(subset, libraries=tuple(args.literals),
                         with_siegel=not args.no_siegel,
                         config=mapper,
                         progress=True, jobs=args.jobs,
-                        cache_dir=_cache_dir_of(args))
-    print(text)
-    expected = args.names or benchmark_names()
-    return 0 if len(rows) == len(expected) else 1
+                        cache_dir=_cache_dir_of(args),
+                        cache_url=_cache_url_of(args))
+    rows = [item.record.row for item in items if item.ok]
+    failures = [(item.name, item.error) for item in items
+                if not item.ok]
+    print(render_report(rows, failures))
+    if shard is not None:
+        from repro.dist.shard import shard_payload, write_shard
+        write_shard(out, shard_payload(
+            chosen, shard, tuple(args.literals), not args.no_siegel,
+            None if mapper is None else repr(mapper), rows, failures))
+        print(f"shard {shard[0]}/{shard[1]}: {len(subset)} of "
+              f"{len(chosen)} circuits -> {out}", file=sys.stderr)
+    return 0 if len(rows) == len(subset) else 1
 
 
 def _cmd_csc(args: argparse.Namespace) -> int:
@@ -190,22 +256,60 @@ def _cmd_csc(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    directory = _cache_dir_of(args)
-    if directory is None:
-        print("error: no cache directory (use --cache-dir or set "
-              f"${CACHE_ENV})", file=sys.stderr)
+    from repro.dist.base import make_store
+    # Maintenance targets exactly what the operator named: an explicit
+    # flag wins outright, so `cache clear --cache-url ...` clears the
+    # *server*, never a local store picked up from $SI_MAPPER_CACHE
+    # (the tiered composite maintains only its local layer).
+    if args.cache_dir or args.cache_url:
+        store = make_store(args.cache_dir, args.cache_url)
+    else:
+        store = make_store(_cache_dir_of(args), _cache_url_of(args))
+    if store is None:
+        print("error: no cache store (use --cache-dir/--cache-url or "
+              f"set ${CACHE_ENV}/${CACHE_URL_ENV})", file=sys.stderr)
         return 2
-    store = DiskArtifactCache(directory)
     if args.action == "stats":
+        # a missing or empty store directory is just an empty
+        # inventory — never an error
         print(store.report().pretty())
     elif args.action == "gc":
         max_age = (args.max_age_days * 86400.0
                    if args.max_age_days is not None else None)
-        removed, freed = store.gc(max_age_seconds=max_age)
+        removed, freed = store.gc(max_age_seconds=max_age,
+                                  max_bytes=args.max_bytes)
         print(f"gc: removed {removed} entries, freed {freed} bytes")
     else:  # clear
         removed, freed = store.clear()
         print(f"clear: removed {removed} entries, freed {freed} bytes")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the artifact cache server over a local store directory."""
+    directory = _cache_dir_of(args)
+    if directory is None:
+        print("error: serve needs a store directory (use --cache-dir "
+              f"or set ${CACHE_ENV})", file=sys.stderr)
+        return 2
+    from repro.dist.server import ArtifactServer
+    try:
+        server = ArtifactServer(directory, host=args.host,
+                                port=args.port, verbose=args.verbose)
+    except OSError as error:
+        # bind failures (port taken, bad host) are operational errors,
+        # not tracebacks
+        print(f"error: cannot serve on {args.host}:{args.port}: "
+              f"{error}", file=sys.stderr)
+        return 2
+    print(f"serving artifact store {server.store.root} "
+          f"at {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
     return 0
 
 
@@ -236,6 +340,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "graphs, syntheses, mappings) under DIR "
                               "and warm-start from them (default: "
                               f"${CACHE_ENV} if set)")
+    caching.add_argument("--cache-url", default=None, metavar="URL",
+                         help="share artifacts through a 'si-mapper "
+                              "serve' daemon at URL; with --cache-dir "
+                              "too, the local store tiers in front of "
+                              "the server (default: "
+                              f"${CACHE_URL_ENV} if set)")
 
     p_map = sub.add_parser("map", help="map an STG into a library",
                            parents=[caching])
@@ -293,7 +403,34 @@ def build_parser() -> argparse.ArgumentParser:
                           default="blocks",
                           help="CSC candidate family; choosing "
                                "'regions' implies --solve-csc")
+    p_report.add_argument("--shard", default=None, metavar="I/N",
+                          help="run only this machine's slice of the "
+                               "circuit list (deterministic partition "
+                               "by benchmark-name hash) and write a "
+                               "shard JSON for --merge")
+    p_report.add_argument("--out", default=None, metavar="FILE",
+                          help="with --shard: where to write the "
+                               "shard JSON (default: "
+                               "table1.shard-IofN.json)")
+    p_report.add_argument("--merge", nargs="+", default=None,
+                          metavar="FILE",
+                          help="merge shard JSON files into the "
+                               "byte-identical single-machine report "
+                               "(runs nothing)")
     p_report.set_defaults(func=_cmd_report)
+
+    p_serve = sub.add_parser("serve",
+                             help="serve the artifact store to remote "
+                                  "workers (--cache-url)",
+                             parents=[caching])
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1; use "
+                              "0.0.0.0 for a cluster)")
+    p_serve.add_argument("--port", type=int, default=8947,
+                         help="TCP port (default 8947; 0 = ephemeral)")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log each request to stderr")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_csc = sub.add_parser("csc",
                            help="solve Complete State Coding for an "
@@ -329,6 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--max-age-days", type=float, default=None,
                          help="with gc: also drop entries older than "
                               "this many days")
+    p_cache.add_argument("--max-bytes", type=int, default=None,
+                         help="with gc: evict least-recently-used "
+                              "entries until the store fits this "
+                              "byte budget")
     p_cache.set_defaults(func=_cmd_cache)
     return parser
 

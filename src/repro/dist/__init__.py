@@ -1,0 +1,61 @@
+"""Distributed execution: remote stores, the serve daemon, sharding.
+
+This package makes the repo multi-machine.  The shared artifact store
+is the only coordination point of the whole synthesis flow — every
+expensive intermediate is content-addressed — so distribution is three
+small layers over it:
+
+:mod:`repro.dist.base`
+    The :class:`ArtifactStore` protocol every backend implements
+    (``get/put/report/gc/clear/telemetry``) and :func:`make_store`,
+    the factory the pipeline and CLI use to turn ``--cache-dir`` /
+    ``--cache-url`` into a backend:  disk, remote, or a write-through
+    :class:`TieredStore` of both.
+
+:mod:`repro.dist.remote`
+    :class:`RemoteArtifactCache`, the stdlib-HTTP client backend.
+    Content-addressed by the same sha256 keys as the disk store, same
+    envelope bytes, format stamps checked client-side; every network
+    failure degrades to a miss and opens a cooldown, so a dead server
+    never fails a run.
+
+:mod:`repro.dist.server`
+    :class:`ArtifactServer`, the ``si-mapper serve`` daemon: a
+    ``ThreadingHTTPServer`` exposing one disk store to the cluster
+    (``GET/PUT/HEAD /artifact/<kind>/<digest>``, ``/stats``,
+    ``/healthz``, remote ``gc``/``clear``) with atomic writes and
+    idempotent concurrent PUTs.
+
+:mod:`repro.dist.shard`
+    Deterministic partition of the benchmark suite by stable name
+    hash (``report --shard i/N``) and the validating merge
+    (``report --merge``) that reconstructs the byte-identical
+    single-machine Table 1.
+
+A full distributed Table-1 run::
+
+    # machine 0 — the cache/coordination server
+    si-mapper serve --cache-dir /srv/si-cache --host 0.0.0.0 --port 8947
+
+    # machines 1..N — one shard each, sharing the store
+    export SI_MAPPER_CACHE_URL=http://server:8947
+    si-mapper report --shard 1/4 --out shard1.json   # ... 2/4, 3/4, 4/4
+
+    # anywhere — reassemble the byte-identical Table 1
+    si-mapper report --merge shard*.json
+"""
+
+from repro.dist.base import ArtifactStore, empty_telemetry, make_store
+from repro.dist.remote import (RemoteArtifactCache, RemoteStats,
+                               TieredStore)
+from repro.dist.server import ArtifactServer
+from repro.dist.shard import (SHARD_SCHEMA, merge_shards, parse_shard,
+                              read_shard, shard_index, shard_names,
+                              shard_payload, write_shard)
+
+__all__ = [
+    "ArtifactServer", "ArtifactStore", "RemoteArtifactCache",
+    "RemoteStats", "SHARD_SCHEMA", "TieredStore", "empty_telemetry",
+    "make_store", "merge_shards", "parse_shard", "read_shard",
+    "shard_index", "shard_names", "shard_payload", "write_shard",
+]

@@ -1,0 +1,80 @@
+"""The backend abstraction of the distributed execution subsystem.
+
+Every artifact-store backend — the local
+:class:`~repro.pipeline.store.DiskArtifactCache`, the HTTP
+:class:`~repro.dist.remote.RemoteArtifactCache`, and the write-through
+:class:`~repro.dist.remote.TieredStore` — implements the
+:class:`ArtifactStore` protocol.  The in-memory
+:class:`~repro.pipeline.cache.ArtifactCache` layers over *any* of
+them, so the pipeline, the batch runner and the CLI never care where
+an artifact physically lives.
+
+The shared contract, beyond the method signatures:
+
+* ``get`` returns :data:`~repro.pipeline.store.MISS` (never raises)
+  for anything that is not a usable entry — absent, stale format
+  stamp, corrupt bytes, unreachable server;
+* ``put`` returns ``False`` (never raises) when the artifact could not
+  be persisted — the store is an accelerator, not a correctness
+  dependency;
+* ``telemetry`` returns counters over the *full* backend counter set
+  (:func:`empty_telemetry`), so pipeline telemetry diffs are uniform
+  no matter which backend is configured.
+"""
+
+from __future__ import annotations
+
+from typing import (Any, Dict, Hashable, Optional, Protocol, Tuple,
+                    runtime_checkable)
+
+from repro.pipeline.store import (StoreReport,       # noqa: F401 -
+                                  empty_telemetry)   # re-exported API
+
+
+@runtime_checkable
+class ArtifactStore(Protocol):
+    """What the pipeline requires of a persistent artifact backend."""
+
+    def get(self, key: Hashable) -> Any:
+        """The stored artifact, or ``MISS``.  Never raises."""
+
+    def put(self, key: Hashable, value: Any) -> bool:
+        """Persist an artifact; ``False`` if skipped.  Never raises."""
+
+    def report(self) -> StoreReport:
+        """Inventory of the store (entries / bytes, per kind)."""
+
+    def gc(self, max_age_seconds: Optional[float] = None,
+           max_bytes: Optional[int] = None) -> Tuple[int, int]:
+        """Drop stale / aged / over-budget entries;
+        ``(removed, freed_bytes)``."""
+
+    def clear(self) -> Tuple[int, int]:
+        """Drop every entry; ``(removed, freed_bytes)``."""
+
+    def telemetry(self) -> Dict[str, int]:
+        """Counters over the full backend counter set."""
+
+
+def make_store(cache_dir: Optional[str] = None,
+               cache_url: Optional[str] = None
+               ) -> Optional[ArtifactStore]:
+    """Build the artifact backend a run configuration asks for.
+
+    * directory only → the local :class:`DiskArtifactCache`;
+    * URL only → the HTTP :class:`RemoteArtifactCache`;
+    * both → a :class:`TieredStore` (disk write-through in front of
+      the remote server — warm workers re-read locally);
+    * neither → ``None`` (memory-only caching).
+    """
+    from repro.pipeline.store import DiskArtifactCache
+    if cache_dir and cache_url:
+        from repro.dist.remote import RemoteArtifactCache, TieredStore
+        return TieredStore(DiskArtifactCache(cache_dir),
+                           RemoteArtifactCache(cache_url))
+    if cache_url:
+        from repro.dist.remote import RemoteArtifactCache
+        return RemoteArtifactCache(cache_url)
+    if cache_dir:
+        return DiskArtifactCache(cache_dir)
+    return None

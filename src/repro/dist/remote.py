@@ -1,0 +1,334 @@
+"""HTTP artifact-store backends: remote client and tiered composite.
+
+:class:`RemoteArtifactCache` speaks the serve daemon's tiny
+content-addressed protocol (``GET/PUT /artifact/<kind>/<digest>``)
+over stdlib ``urllib`` — no third-party dependencies.  Entries travel
+in the exact envelope :class:`~repro.pipeline.store.DiskArtifactCache`
+writes to disk, and the *client* checks the per-kind
+:data:`~repro.pipeline.store.ARTIFACT_FORMATS` stamp after download,
+so a schema bump on one worker never poisons another.
+
+Failure model: the store is an accelerator.  Every network problem —
+connection refused, timeout, a 5xx — degrades to a cache miss (or a
+skipped write) and opens a cooldown window during which the server is
+not retried, so a dead server costs one connection attempt per
+cooldown, never a failed run and never a per-artifact timeout storm.
+
+:class:`TieredStore` composes a local disk store in front of a remote
+one: reads fill the local layer through (a warm worker re-reads from
+its own disk instead of the network), writes go to both.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.pipeline.store import (ARTIFACT_FORMATS, MISS,
+                                  DiskArtifactCache, StoreReport,
+                                  _ThreadSafeCounters, decode_entry,
+                                  digest_of, empty_telemetry,
+                                  encode_entry, kind_of)
+
+
+@dataclass
+class RemoteStats(_ThreadSafeCounters):
+    """Telemetry counters of one :class:`RemoteArtifactCache`."""
+
+    hits: int = 0
+    misses: int = 0          # 404s, and requests skipped in cooldown
+    stale: int = 0           # downloaded, but wrong format stamp / key
+    errors: int = 0          # network failures and server errors
+    writes: int = 0
+    write_skips: int = 0     # unpicklable, failed or skipped uploads
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "remote_hits": self.hits,
+                "remote_misses": self.misses,
+                "remote_stale": self.stale,
+                "remote_errors": self.errors,
+                "remote_writes": self.writes,
+                "remote_write_skips": self.write_skips,
+                "remote_bytes_read": self.bytes_read,
+                "remote_bytes_written": self.bytes_written,
+            }
+
+
+#: network exceptions that mean "server unreachable / broken", opening
+#: the cooldown window (HTTPError is handled separately: the server
+#: answered, it is not down)
+_NETWORK_ERRORS = (urllib.error.URLError, http.client.HTTPException,
+                   ConnectionError, OSError, TimeoutError)
+
+
+class RemoteArtifactCache:
+    """Artifact-store client for a ``si-mapper serve`` daemon.
+
+    Content-addressed exactly like the disk store: an entry's address
+    is ``(kind, sha256(repr(key)))``, its body is the shared header +
+    payload envelope.  Downloads are validated against the local
+    :data:`ARTIFACT_FORMATS` stamp before use.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0,
+                 cooldown: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        #: seconds to stop talking to the server after a network
+        #: failure; 0 retries every request (tests use that)
+        self.cooldown = cooldown
+        self.stats = RemoteStats()
+        self._down_until = 0.0
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    def _available(self) -> bool:
+        return time.monotonic() >= self._down_until
+
+    def _mark_down(self) -> None:
+        self._down_until = time.monotonic() + self.cooldown
+
+    def _request(self, method: str, path: str,
+                 data: Optional[bytes] = None) -> bytes:
+        request = urllib.request.Request(self.base_url + path,
+                                         data=data, method=method)
+        if data is not None:
+            request.add_header("Content-Type",
+                               "application/octet-stream")
+        with urllib.request.urlopen(request,
+                                    timeout=self.timeout) as response:
+            return response.read()
+
+    @staticmethod
+    def _entry_path(kind: str, digest: str) -> str:
+        return (f"/artifact/{urllib.parse.quote(kind, safe='')}"
+                f"/{digest}")
+
+    # ------------------------------------------------------------------
+    # ArtifactStore: get / put
+    # ------------------------------------------------------------------
+
+    def get(self, key: Hashable) -> Any:
+        """The stored artifact, or :data:`MISS`.  Never raises: a 404,
+        a dead server, or a stale/corrupt download are all misses."""
+        return self.fetch(key)[0]
+
+    def fetch(self, key: Hashable) -> Tuple[Any, Optional[bytes]]:
+        """``(value, envelope_bytes)`` — the decoded artifact plus the
+        exact bytes that came over the wire (``(MISS, None)`` on any
+        miss).  :class:`TieredStore` writes the raw envelope back to
+        its local layer instead of re-pickling a multi-MB payload."""
+        expected = ARTIFACT_FORMATS.get(kind_of(key))
+        if expected is None:
+            return MISS, None
+        if not self._available():
+            self.stats.add(misses=1)
+            return MISS, None
+        try:
+            data = self._request(
+                "GET", self._entry_path(kind_of(key), digest_of(key)))
+        except urllib.error.HTTPError as error:
+            error.close()
+            if error.code == 404:
+                self.stats.add(misses=1)
+            else:
+                self.stats.add(errors=1)
+                if error.code >= 500:
+                    # the server (or its proxy) is broken, not just
+                    # missing this entry: back off like a dead socket
+                    self._mark_down()
+            return MISS, None
+        except _NETWORK_ERRORS:
+            self.stats.add(errors=1)
+            self._mark_down()
+            return MISS, None
+        status, payload = decode_entry(data, key, expected)
+        if status == "stale":
+            self.stats.add(stale=1)
+            return MISS, None
+        if status == "error":
+            self.stats.add(errors=1)
+            return MISS, None
+        self.stats.add(hits=1, bytes_read=len(data))
+        return payload, data
+
+    def put(self, key: Hashable, value: Any) -> bool:
+        """Upload an artifact; ``False`` if it was skipped.  Never
+        raises — an unpicklable value or an unreachable server only
+        costs the upload."""
+        version = ARTIFACT_FORMATS.get(kind_of(key))
+        if version is None:
+            return False
+        try:
+            data = encode_entry(key, value, version)
+        except Exception:
+            self.stats.add(write_skips=1)
+            return False
+        return self.put_raw(kind_of(key), digest_of(key), data)
+
+    def put_raw(self, kind: str, digest: str, data: bytes) -> bool:
+        """Upload already-encoded envelope bytes (the tiered write
+        path encodes once and feeds both layers raw)."""
+        if not self._available():
+            self.stats.add(write_skips=1)
+            return False
+        try:
+            self._request("PUT", self._entry_path(kind, digest),
+                          data=data)
+        except urllib.error.HTTPError as error:
+            # a refused upload (413, 400) is a skip; a server-side
+            # failure (507 full store, proxy 5xx) is an *error* — the
+            # telemetry an operator watches — and backs off
+            code = error.code
+            error.close()
+            if code >= 500:
+                self.stats.add(errors=1, write_skips=1)
+                self._mark_down()
+            else:
+                self.stats.add(write_skips=1)
+            return False
+        except _NETWORK_ERRORS:
+            self.stats.add(errors=1, write_skips=1)
+            self._mark_down()
+            return False
+        self.stats.add(writes=1, bytes_written=len(data))
+        return True
+
+    # ------------------------------------------------------------------
+    # ArtifactStore: maintenance
+    # ------------------------------------------------------------------
+
+    def report(self) -> StoreReport:
+        """The server's inventory; empty when unreachable."""
+        report = StoreReport(root=self.base_url)
+        try:
+            data = self._request("GET", "/stats")
+            inventory = json.loads(data.decode("utf-8"))
+        except (*_NETWORK_ERRORS, ValueError):
+            return report
+        report.entries = int(inventory.get("entries", 0))
+        report.bytes = int(inventory.get("bytes", 0))
+        report.by_kind = {
+            kind: (int(count), int(size))
+            for kind, (count, size) in
+            inventory.get("by_kind", {}).items()}
+        return report
+
+    def _maintenance(self, path: str) -> Tuple[int, int]:
+        try:
+            data = self._request("POST", path, data=b"")
+            result = json.loads(data.decode("utf-8"))
+            return int(result["removed"]), int(result["freed"])
+        except (*_NETWORK_ERRORS, ValueError, KeyError):
+            return 0, 0
+
+    def gc(self, max_age_seconds: Optional[float] = None,
+           max_bytes: Optional[int] = None) -> Tuple[int, int]:
+        """Ask the server to gc its store; ``(0, 0)`` if unreachable."""
+        query = {}
+        if max_age_seconds is not None:
+            query["max_age_seconds"] = repr(float(max_age_seconds))
+        if max_bytes is not None:
+            query["max_bytes"] = str(int(max_bytes))
+        path = "/gc"
+        if query:
+            path += "?" + urllib.parse.urlencode(query)
+        return self._maintenance(path)
+
+    def clear(self) -> Tuple[int, int]:
+        """Ask the server to clear its store; ``(0, 0)`` if down."""
+        return self._maintenance("/clear")
+
+    def healthy(self) -> bool:
+        """One ``/healthz`` probe — used by CLI and tests to wait for
+        a serve daemon to come up."""
+        try:
+            return self._request("GET", "/healthz") is not None
+        except (urllib.error.HTTPError, *_NETWORK_ERRORS):
+            return False
+
+    def telemetry(self) -> Dict[str, int]:
+        counters = empty_telemetry()
+        counters.update(self.stats.as_dict())
+        return counters
+
+    def __repr__(self) -> str:
+        return (f"RemoteArtifactCache({self.base_url!r}, "
+                f"hits={self.stats.hits}, misses={self.stats.misses}, "
+                f"writes={self.stats.writes})")
+
+
+class TieredStore:
+    """Local disk write-through in front of a remote store.
+
+    Reads consult the local layer first; a remote hit is written back
+    locally so the next read never leaves the machine.  Writes go to
+    both layers.  Maintenance (:meth:`report` / :meth:`gc` /
+    :meth:`clear`) acts on the *local* layer — the shared server is
+    maintained by its operator (``si-mapper cache --cache-url ...``),
+    not as a side effect of one worker's housekeeping.
+    """
+
+    def __init__(self, local: DiskArtifactCache,
+                 remote: RemoteArtifactCache):
+        self.local = local
+        self.remote = remote
+
+    def get(self, key: Hashable) -> Any:
+        value = self.local.get(key)
+        if value is not MISS:
+            return value
+        value, data = self.remote.fetch(key)
+        if value is not MISS and data is not None:
+            # back-fill with the downloaded envelope as-is: no second
+            # pickling of a potentially multi-MB payload
+            self.local.put_raw(kind_of(key), digest_of(key), data)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> bool:
+        # encode once, write the same envelope bytes to both layers —
+        # never two picklings of one multi-MB payload
+        version = ARTIFACT_FORMATS.get(kind_of(key))
+        if version is None:
+            return False
+        try:
+            data = encode_entry(key, value, version)
+        except Exception:
+            self.local.stats.add(write_skips=1)
+            self.remote.stats.add(write_skips=1)
+            return False
+        kind, digest = kind_of(key), digest_of(key)
+        stored_locally = self.local.put_raw(kind, digest, data)
+        stored_remotely = self.remote.put_raw(kind, digest, data)
+        return stored_locally or stored_remotely
+
+    def report(self) -> StoreReport:
+        return self.local.report()
+
+    def gc(self, max_age_seconds: Optional[float] = None,
+           max_bytes: Optional[int] = None) -> Tuple[int, int]:
+        return self.local.gc(max_age_seconds=max_age_seconds,
+                             max_bytes=max_bytes)
+
+    def clear(self) -> Tuple[int, int]:
+        return self.local.clear()
+
+    def telemetry(self) -> Dict[str, int]:
+        counters = self.local.telemetry()
+        counters.update(self.remote.stats.as_dict())
+        return counters
+
+    def __repr__(self) -> str:
+        return f"TieredStore({self.local!r}, {self.remote!r})"

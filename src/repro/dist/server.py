@@ -1,0 +1,293 @@
+"""The artifact cache/coordination server behind ``si-mapper serve``.
+
+A :class:`ThreadingHTTPServer` daemon exposing one
+:class:`~repro.pipeline.store.DiskArtifactCache` to a cluster of
+workers over a tiny content-addressed protocol:
+
+* ``GET  /artifact/<kind>/<digest>`` — raw envelope bytes, 404 on miss;
+* ``HEAD /artifact/<kind>/<digest>`` — existence + size, no body;
+* ``PUT  /artifact/<kind>/<digest>`` — store an envelope atomically;
+* ``GET  /stats``    — JSON inventory + request counters;
+* ``GET  /healthz``  — liveness probe;
+* ``POST /gc``, ``POST /clear`` — remote store maintenance.
+
+The server moves opaque blobs: it never unpickles a payload (uploads
+get only a restricted header sanity check that cannot construct
+objects), so a malformed or hostile upload can waste one entry's disk
+space but cannot execute anything here.  *Consumers* unpickle what
+they download — the store must only be shared within a trusted
+cluster, the same trust model as a disk store on shared NFS.
+
+Writes reuse the disk store's temp-file + ``os.replace`` discipline,
+so concurrent PUTs of the same entry are idempotent and readers never
+observe a torn entry.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pickle
+import re
+import sys
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.pipeline.store import DiskArtifactCache
+
+#: an upload larger than this is refused (413) — the biggest real
+#: artifacts (mapping results with embedded state graphs) are a few
+#: tens of MB; half a GiB is a config error or an attack, not a cache
+#: entry.
+MAX_ENTRY_BYTES = 512 * 1024 * 1024
+
+#: ``/artifact/<kind>/<digest>`` — kind is a short identifier, digest
+#: is exactly one lowercase sha256; anything else (traversal attempts
+#: included) is a 404.
+_ARTIFACT_PATH = re.compile(
+    r"^/artifact/([A-Za-z0-9_\-]{1,64})/([0-9a-f]{64})$")
+
+
+class _NoGlobalsUnpickler(pickle.Unpickler):
+    """Header sanity-checker: refuses every global lookup, so it can
+    only materialize primitive containers — never arbitrary objects."""
+
+    def find_class(self, module, name):  # pragma: no cover - guard
+        raise pickle.UnpicklingError(
+            f"envelope headers may not reference {module}.{name}")
+
+
+def _plausible_envelope(data: bytes) -> bool:
+    """True when ``data`` starts with a well-formed entry header."""
+    try:
+        header = _NoGlobalsUnpickler(io.BytesIO(data)).load()
+    except Exception:
+        return False
+    return (isinstance(header, dict)
+            and isinstance(header.get("format"), int)
+            and isinstance(header.get("key"), str))
+
+
+class _StoreRequestHandler(BaseHTTPRequestHandler):
+    """One request against the shared store; the server is threading,
+    so many of these run concurrently over one DiskArtifactCache."""
+
+    server_version = "si-mapper-store/1"
+    protocol_version = "HTTP/1.1"
+
+    # the ThreadingHTTPServer subclass below carries these
+    server: "ArtifactServer"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.verbose:
+            sys.stderr.write("serve: %s - %s\n"
+                             % (self.address_string(), format % args))
+
+    def _reply(self, status: int, body: bytes = b"",
+               content_type: str = "text/plain; charset=utf-8",
+               head_only: bool = False,
+               content_length: Optional[int] = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length",
+                         str(len(body) if content_length is None
+                             else content_length))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        if not head_only and body:
+            self.wfile.write(body)
+
+    def _reply_json(self, status: int, payload) -> None:
+        self._reply(status,
+                    json.dumps(payload, sort_keys=True).encode("utf-8"),
+                    content_type="application/json")
+
+    def _artifact_address(self) -> Optional[Tuple[str, str]]:
+        match = _ARTIFACT_PATH.match(
+            urllib.parse.urlsplit(self.path).path)
+        return (match.group(1), match.group(2)) if match else None
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        path = urllib.parse.urlsplit(self.path).path
+        if path == "/healthz":
+            self._reply(200, b"ok\n")
+            return
+        if path == "/stats":
+            self._reply_json(200, self.server.stats_payload())
+            return
+        address = self._artifact_address()
+        if address is None:
+            self._reply(404, b"unknown path\n")
+            return
+        data = self.server.store.get_raw(*address)
+        if data is None:
+            self._reply(404, b"no such artifact\n")
+            return
+        self._reply(200, data, content_type="application/octet-stream")
+
+    def do_HEAD(self) -> None:
+        path = urllib.parse.urlsplit(self.path).path
+        if path == "/healthz":
+            self._reply(200, head_only=True)
+            return
+        address = self._artifact_address()
+        size = (self.server.store.has_raw(*address)
+                if address is not None else None)
+        if size is None:
+            self._reply(404, head_only=True)
+            return
+        self._reply(200, head_only=True, content_length=size,
+                    content_type="application/octet-stream")
+
+    def do_PUT(self) -> None:
+        # Every error reply below may leave unread body bytes on the
+        # socket; on a keep-alive connection they would be parsed as
+        # the next request line.  Close instead of draining — a
+        # refused upload may be half a GiB.
+        self.close_connection = True
+        address = self._artifact_address()
+        if address is None:
+            self._reply(404, b"unknown path\n")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._reply(411, b"Content-Length required\n")
+            return
+        if length < 0 or length > MAX_ENTRY_BYTES:
+            # drain the oversize body when feasible so the 413 reply
+            # actually reaches a client mid-upload (an abrupt close
+            # surfaces as a broken pipe, which clients treat as a
+            # dead server and back off from)
+            if self._drain_body(length):
+                self.close_connection = False
+            self._reply(413, b"entry too large\n")
+            return
+        data = self.rfile.read(length)
+        if len(data) != length:
+            self._reply(400, b"truncated body\n")
+            return
+        self.close_connection = False          # body fully consumed
+        if not _plausible_envelope(data):
+            self._reply(400, b"not an artifact envelope\n")
+            return
+        if not self.server.store.put_raw(address[0], address[1], data):
+            self._reply(507, b"store write failed\n")
+            return
+        self._reply(204)
+
+    def _drain_body(self, length: int) -> bool:
+        """Consume an unwanted request body in bounded chunks; False
+        when it is absurdly large (then the connection just closes)."""
+        if length < 0 or length > 4 * MAX_ENTRY_BYTES:
+            return False
+        remaining = length
+        while remaining:
+            chunk = self.rfile.read(min(remaining, 1 << 20))
+            if not chunk:
+                return False
+            remaining -= len(chunk)
+        return True
+
+    def do_POST(self) -> None:
+        # same keep-alive discipline as do_PUT: never reply with body
+        # bytes still unread on the socket
+        self.close_connection = True
+        split = urllib.parse.urlsplit(self.path)
+        if split.path in ("/gc", "/clear"):
+            try:
+                length = int(self.headers.get("Content-Length",
+                                              "0") or 0)
+            except ValueError:
+                length = -1
+            if 0 <= length <= 65536:     # maintenance bodies are tiny
+                if len(self.rfile.read(length)) == length:
+                    self.close_connection = False
+        if split.path == "/gc":
+            query = urllib.parse.parse_qs(split.query)
+            try:
+                max_age = (float(query["max_age_seconds"][0])
+                           if "max_age_seconds" in query else None)
+                max_bytes = (int(query["max_bytes"][0])
+                             if "max_bytes" in query else None)
+            except ValueError:
+                self._reply(400, b"bad gc parameters\n")
+                return
+            removed, freed = self.server.store.gc(
+                max_age_seconds=max_age, max_bytes=max_bytes)
+        elif split.path == "/clear":
+            removed, freed = self.server.store.clear()
+        else:
+            self._reply(404, b"unknown path\n")
+            return
+        self._reply_json(200, {"removed": removed, "freed": freed})
+
+
+class ArtifactServer(ThreadingHTTPServer):
+    """The serve daemon: a threading HTTP server over one disk store.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`url` reports
+    the resolved address either way.  :meth:`start_background` runs
+    the accept loop on a daemon thread and returns once ``/healthz``
+    would answer — the in-process analogue of ``si-mapper serve &``.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, root: str, host: str = "127.0.0.1",
+                 port: int = 0, verbose: bool = False):
+        self.store = DiskArtifactCache(root)
+        self.verbose = verbose
+        self._thread: Optional[threading.Thread] = None
+        super().__init__((host, port), _StoreRequestHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def stats_payload(self) -> dict:
+        """The ``/stats`` body: inventory + raw request counters."""
+        inventory = self.store.report()
+        return {
+            "root": inventory.root,
+            "entries": inventory.entries,
+            "bytes": inventory.bytes,
+            "by_kind": {kind: list(counts) for kind, counts
+                        in inventory.by_kind.items()},
+            "telemetry": self.store.stats.as_dict(),
+        }
+
+    def start_background(self) -> "ArtifactServer":
+        """Serve on a daemon thread (tests / embedded use)."""
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="si-mapper-serve",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the accept loop down and release the socket."""
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ArtifactServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

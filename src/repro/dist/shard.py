@@ -1,0 +1,226 @@
+"""Deterministic shard/merge of the Table-1 full-suite report.
+
+``si-mapper report --shard i/N`` runs an N-th of the benchmark suite
+on one machine; ``--merge shard*.json`` reassembles the shards into
+the *byte-identical* single-machine report.  The partition is a
+stable hash of each benchmark's **name** — never the list order — so
+every shard computes its subset independently, shards agree on the
+partition without coordinating, and adding ``--shard`` to an existing
+command line never reorders anything.
+
+A shard file records everything the merge needs to prove the shards
+belong together: the schema version, the full circuit list, the shard
+position, the battery configuration, and this shard's rows and
+failures.  :func:`merge_shards` refuses mixed configurations, missing
+or duplicate shards, and incomplete coverage — a silently partial
+Table 1 would read as "the suite passed" when it did not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ShardError
+
+#: bump when the shard-file schema changes; old files are refused
+#: (recompute the shard), never misread.
+SHARD_SCHEMA = 1
+
+_SPEC = re.compile(r"^(\d+)/(\d+)$")
+
+
+def parse_shard(spec: str) -> Tuple[int, int]:
+    """Parse ``"i/N"`` into ``(index, count)``; 1-based, 1 <= i <= N."""
+    match = _SPEC.match(spec.strip())
+    if match is None:
+        raise ShardError(f"bad shard spec {spec!r} (expected i/N, "
+                         "e.g. 1/4)")
+    index, count = int(match.group(1)), int(match.group(2))
+    if count < 1 or not 1 <= index <= count:
+        raise ShardError(f"bad shard spec {spec!r}: need "
+                         "1 <= i <= N")
+    return index, count
+
+
+def shard_index(name: str, count: int) -> int:
+    """The 1-based shard a circuit belongs to, by stable name hash.
+
+    ``sha256`` of the name, not :func:`hash` — Python's string hash is
+    salted per process, and the whole point is that independent
+    machines agree on the partition.
+    """
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % count + 1
+
+
+def shard_names(names: Sequence[str], index: int,
+                count: int) -> List[str]:
+    """This shard's subset of ``names``, in original order."""
+    return [name for name in names
+            if shard_index(name, count) == index]
+
+
+# ----------------------------------------------------------------------
+# Shard files
+# ----------------------------------------------------------------------
+
+def shard_payload(names: Sequence[str], shard: Tuple[int, int],
+                  libraries: Sequence[int], with_siegel: bool,
+                  mapper_fingerprint: Optional[str],
+                  rows: Sequence, failures: Sequence[Tuple[str, str]]
+                  ) -> Dict:
+    """The JSON document of one shard run.
+
+    ``rows`` are :class:`~repro.report.Table1Row` objects;
+    ``mapper_fingerprint`` pins the mapper configuration (``repr`` of
+    the :class:`~repro.mapping.decompose.MapperConfig`, or ``None``)
+    so shards run with different CSC settings refuse to merge.
+    """
+    return {
+        "schema": SHARD_SCHEMA,
+        "shard": [shard[0], shard[1]],
+        "names": list(names),
+        "libraries": list(libraries),
+        "with_siegel": bool(with_siegel),
+        "mapper": mapper_fingerprint,
+        "rows": [row.to_json() for row in rows],
+        "failures": [[name, error] for name, error in failures],
+    }
+
+
+def write_shard(path: str, payload: Dict) -> None:
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError as error:
+        # a clean CLI error (exit 2), not a traceback after an
+        # hour-long battery
+        raise ShardError(f"cannot write shard file {path}: "
+                         f"{error}") from error
+
+
+def read_shard(path: str) -> Dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise ShardError(f"cannot read shard file {path}: "
+                         f"{error}") from error
+    except ValueError as error:
+        raise ShardError(f"shard file {path} is not JSON: "
+                         f"{error}") from error
+    if not isinstance(payload, dict) or "schema" not in payload:
+        raise ShardError(f"{path} is not a shard file")
+    if payload["schema"] != SHARD_SCHEMA:
+        raise ShardError(
+            f"{path} has shard schema {payload['schema']}, this "
+            f"binary reads {SHARD_SCHEMA} — re-run that shard")
+    # a truncated or hand-edited file must be a clean CLI error, not a
+    # KeyError traceback out of merge_shards
+    missing = [key for key in ("shard", "names", "libraries",
+                               "with_siegel", "mapper", "rows",
+                               "failures") if key not in payload]
+    if missing:
+        raise ShardError(f"{path} is incomplete (missing "
+                         f"{', '.join(missing)}) — re-run that shard")
+    shard = payload["shard"]
+    if (not isinstance(shard, list) or len(shard) != 2
+            or not all(isinstance(part, int) for part in shard)
+            or shard[1] < 1 or not 1 <= shard[0] <= shard[1]):
+        raise ShardError(f"{path} has a malformed shard position "
+                         f"{shard!r}")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Merge
+# ----------------------------------------------------------------------
+
+def _require_matching(payloads: Sequence[Dict], field: str) -> None:
+    values = {json.dumps(payload.get(field), sort_keys=True)
+              for payload in payloads}
+    if len(values) > 1:
+        raise ShardError(f"shards disagree on {field!r} — they are "
+                         "not shards of one run")
+
+
+def merge_shards(payloads: Sequence[Dict]
+                 ) -> Tuple[List, List[Tuple[str, str]], str]:
+    """Reassemble shard payloads into the single-machine report.
+
+    Returns ``(rows, failures, text)`` where ``text`` is byte-identical
+    to what the unsharded ``si-mapper report`` would have printed for
+    the same circuit list and configuration.  Raises
+    :class:`ShardError` on anything that would make the merged table a
+    lie: mixed configurations, a missing or duplicate shard, or a
+    circuit no shard accounted for.
+    """
+    from repro.report import Table1Row, render_report
+    if not payloads:
+        raise ShardError("no shard files to merge")
+    for field in ("names", "libraries", "with_siegel", "mapper"):
+        _require_matching(payloads, field)
+    counts = {payload["shard"][1] for payload in payloads}
+    if len(counts) != 1:
+        raise ShardError("shards disagree on the shard count")
+    count = counts.pop()
+    seen = [payload["shard"][0] for payload in payloads]
+    if len(set(seen)) != len(seen):
+        duplicates = sorted({index for index in seen
+                             if seen.count(index) > 1})
+        raise ShardError(f"duplicate shard(s) {duplicates} of {count}")
+    missing = sorted(set(range(1, count + 1)) - set(seen))
+    if missing:
+        raise ShardError(
+            f"missing shard(s) {'/'.join(str(i) for i in missing)} "
+            f"of {count} — merge needs all {count} shard files")
+
+    names: List[str] = payloads[0]["names"]
+    rows_by_name: Dict[str, Table1Row] = {}
+    failures_by_name: Dict[str, str] = {}
+    for payload in payloads:
+        index = payload["shard"][0]
+        expected = set(shard_names(names, index, count))
+        for row_json in payload["rows"]:
+            try:
+                row = Table1Row.from_json(row_json)
+            except Exception as error:
+                raise ShardError(
+                    f"shard {index}/{count} has a malformed row "
+                    f"({error!r}) — re-run that shard") from error
+            if row.name not in expected:
+                raise ShardError(
+                    f"shard {index}/{count} reports {row.name!r}, "
+                    "which is not in its partition")
+            rows_by_name[row.name] = row
+        for entry in payload["failures"]:
+            try:
+                name, error = entry
+            except (TypeError, ValueError) as unpack_error:
+                raise ShardError(
+                    f"shard {index}/{count} has a malformed failure "
+                    f"entry {entry!r} — re-run that shard"
+                ) from unpack_error
+            if name not in expected:
+                raise ShardError(
+                    f"shard {index}/{count} reports {name!r}, which "
+                    "is not in its partition")
+            failures_by_name[name] = error
+    unaccounted = [name for name in names
+                   if name not in rows_by_name
+                   and name not in failures_by_name]
+    if unaccounted:
+        raise ShardError(
+            "no shard accounted for: " + ", ".join(unaccounted))
+
+    # single-machine order: rows and failures in the original circuit
+    # order, exactly like one BatchRunner pass over ``names``
+    rows = [rows_by_name[name] for name in names
+            if name in rows_by_name]
+    failures = [(name, failures_by_name[name]) for name in names
+                if name in failures_by_name]
+    return rows, failures, render_report(rows, failures)

@@ -80,5 +80,10 @@ class LibraryError(ReproError):
     """A gate library is malformed or cannot express a request."""
 
 
+class ShardError(ReproError):
+    """A sharded report cannot be assembled (bad shard spec, missing or
+    duplicate shard files, or shards of incompatible runs)."""
+
+
 class VerificationError(ReproError):
     """A mapped circuit failed speed-independence verification."""

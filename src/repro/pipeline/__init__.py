@@ -24,6 +24,11 @@ Layers
     ``SI_MAPPER_CACHE``).  Entries are versioned per artifact kind and
     written atomically, so concurrent worker processes share one store
     safely and schema bumps degrade to recompute, never to a crash.
+    It is one backend of the :class:`~repro.dist.base.ArtifactStore`
+    protocol — ``PipelineConfig.cache_url`` / ``--cache-url`` /
+    ``SI_MAPPER_CACHE_URL`` swaps in (or tiers with) the remote HTTP
+    backend of :mod:`repro.dist`, which is how sharded multi-machine
+    reports share one store through ``si-mapper serve``.
 
 :class:`~repro.pipeline.context.SynthesisContext`
     Owns the memoized artifacts of *one* circuit: the parsed

@@ -18,7 +18,7 @@ from typing import (TYPE_CHECKING, Any, Callable, Dict, Hashable,
                     Optional, Tuple)
 
 if TYPE_CHECKING:
-    from repro.pipeline.store import DiskArtifactCache
+    from repro.dist.base import ArtifactStore
 
 
 def content_key_of(g_text: str) -> str:
@@ -39,14 +39,19 @@ class ArtifactCache:
     block until the value lands and then read it as a hit.  (The old
     lost-race policy recomputed the artifact *and* counted a hit.)
 
-    With a :class:`~repro.pipeline.store.DiskArtifactCache` layered
-    underneath, a memory miss consults the store before computing, and
-    computed values are written through — ``hits`` stays "served from
-    memory" and ``misses`` stays "actually computed"; disk traffic has
-    its own counters on ``disk.stats``.
+    With a persistent backend layered underneath — any
+    :class:`~repro.dist.base.ArtifactStore`: the local
+    :class:`~repro.pipeline.store.DiskArtifactCache`, a
+    :class:`~repro.dist.remote.RemoteArtifactCache` talking to a
+    ``si-mapper serve`` daemon, or a tiered combination — a memory
+    miss consults the store before computing, and computed values are
+    written through.  ``hits`` stays "served from memory" and
+    ``misses`` stays "actually computed"; store traffic has its own
+    counters on the backend (the ``disk_*`` / ``remote_*`` keys of
+    :meth:`telemetry`).
     """
 
-    def __init__(self, disk: "Optional[DiskArtifactCache]" = None
+    def __init__(self, disk: "Optional[ArtifactStore]" = None
                  ) -> None:
         self._store: Dict[Hashable, Any] = {}
         self._lock = threading.Lock()
@@ -133,10 +138,10 @@ class ArtifactCache:
             counters = {"cache_hits": self.hits,
                         "cache_misses": self.misses}
         if self.disk is not None:
-            counters.update(self.disk.stats.as_dict())
+            counters.update(self.disk.telemetry())
         else:
-            from repro.pipeline.store import DiskStats
-            counters.update(DiskStats().as_dict())
+            from repro.pipeline.store import empty_telemetry
+            counters.update(empty_telemetry())
         return counters
 
     def __repr__(self) -> str:

@@ -79,13 +79,28 @@ class RunRecord:
         return "\n".join(lines)
 
     def cache_summary(self) -> str:
-        """One line of cache telemetry (``si-mapper ... --timings``)."""
-        return (f"cache: {self.stats.get('cache_hits', 0)} memory hits, "
+        """One line of cache telemetry (``si-mapper ... --timings``).
+
+        The remote clause appears only when the run actually talked to
+        (or failed to reach) a cache server, so local-only output is
+        unchanged."""
+        line = (f"cache: {self.stats.get('cache_hits', 0)} memory hits, "
                 f"{self.stats.get('disk_hits', 0)} disk hits, "
                 f"{self.stats.get('cache_misses', 0)} computed; "
                 f"{self.stats.get('disk_bytes_read', 0)} bytes read, "
                 f"{self.stats.get('disk_bytes_written', 0)} bytes "
                 f"written")
+        remote_traffic = sum(
+            self.stats.get(counter, 0) for counter in
+            ("remote_hits", "remote_misses", "remote_stale",
+             "remote_errors", "remote_writes", "remote_write_skips"))
+        if remote_traffic:
+            line += (f"; remote: {self.stats.get('remote_hits', 0)} "
+                     f"hits, {self.stats.get('remote_misses', 0)} "
+                     f"misses, {self.stats.get('remote_writes', 0)} "
+                     f"writes, {self.stats.get('remote_errors', 0)} "
+                     f"errors")
+        return line
 
     def csc_summary(self) -> str:
         """One line of CSC-solver telemetry (only meaningful when the
@@ -118,7 +133,12 @@ class PipelineConfig:
     ``cache_dir`` backs the artifact cache with a persistent
     :class:`~repro.pipeline.store.DiskArtifactCache` at that path, so
     runs — and :class:`~repro.pipeline.batch.BatchRunner` workers —
-    warm-start from previously computed artifacts.
+    warm-start from previously computed artifacts; ``cache_url``
+    points at a ``si-mapper serve`` daemon instead (a
+    :class:`~repro.dist.remote.RemoteArtifactCache`), and setting
+    *both* tiers a local disk write-through in front of the remote
+    store (:class:`~repro.dist.remote.TieredStore`) — the layout for
+    sharded multi-machine runs.
     """
 
     libraries: Tuple[int, ...] = (2, 3, 4)
@@ -128,6 +148,7 @@ class PipelineConfig:
     keep_artifacts: bool = True
     local_mode: bool = False     # battery runs in "local" mode instead
     cache_dir: Optional[str] = None
+    cache_url: Optional[str] = None
 
     @property
     def modes(self) -> List[Tuple[int, str]]:
@@ -155,10 +176,11 @@ class Pipeline:
     def __init__(self, config: Optional[PipelineConfig] = None,
                  cache: Optional[ArtifactCache] = None):
         self.config = config or PipelineConfig()
-        if cache is None and self.config.cache_dir:
-            from repro.pipeline.store import DiskArtifactCache
-            cache = ArtifactCache(
-                disk=DiskArtifactCache(self.config.cache_dir))
+        if cache is None and (self.config.cache_dir
+                              or self.config.cache_url):
+            from repro.dist.base import make_store
+            cache = ArtifactCache(disk=make_store(
+                self.config.cache_dir, self.config.cache_url))
         self.cache = cache
 
     def context_of(self, source: Source) -> SynthesisContext:

@@ -9,6 +9,15 @@ starts from the store instead of redoing reachability.  It layers
 memory is consulted first, then disk, then the compute thunk; computed
 values are written back through both layers.
 
+It is the *local* backend of the :class:`~repro.dist.base.
+ArtifactStore` protocol; :mod:`repro.dist` adds the remote HTTP
+backend (:class:`~repro.dist.remote.RemoteArtifactCache`), the
+write-through :class:`~repro.dist.remote.TieredStore`, and the
+``si-mapper serve`` daemon that exposes one of these stores to a
+cluster.  All backends share one wire/disk format — the *envelope* of
+:func:`encode_entry` / :func:`decode_entry` — so an entry written by a
+worker's disk store is byte-compatible with one PUT over HTTP.
+
 Safety properties:
 
 * **content-addressed** — entries are filed under the SHA-256 of the
@@ -64,9 +73,85 @@ ARTIFACT_FORMATS: Dict[str, int] = {
 #: sentinel distinguishing "no entry" from a stored ``None``
 MISS = object()
 
+#: ``gc`` only reaps ``.tmp-`` files older than this — a younger one
+#: may be an in-flight write (the serve daemon's remote ``/gc`` can
+#: race a concurrent PUT; unlinking its temp file would fail the
+#: upload).  Real writes finish in seconds.
+TEMP_REAP_SECONDS = 3600.0
+
+
+# ----------------------------------------------------------------------
+# Keys and the shared entry envelope
+# ----------------------------------------------------------------------
+
+def kind_of(key: Hashable) -> str:
+    """The artifact kind of a cache key (its first tuple element)."""
+    if isinstance(key, tuple) and key and isinstance(key[0], str):
+        return key[0]
+    return "misc"
+
+
+def digest_of(key: Hashable) -> str:
+    """The content address of a cache key: SHA-256 of its ``repr``."""
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+def encode_entry(key: Hashable, value: Any, version: int) -> bytes:
+    """Serialize one store entry into the shared envelope.
+
+    Two concatenated pickles: a small metadata header (format stamp +
+    key repr), then the payload — so maintenance and servers can check
+    the stamp without materializing whole state graphs.  Raises
+    whatever :func:`pickle.dumps` raises on an unserializable value;
+    backends turn that into a ``write_skip``.
+    """
+    return (pickle.dumps({"format": version, "key": repr(key)},
+                         protocol=pickle.HIGHEST_PROTOCOL)
+            + pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def decode_entry(data: bytes, key: Hashable,
+                 expected: int) -> Tuple[str, Any]:
+    """Parse envelope bytes back into a payload.
+
+    Returns ``("hit", payload)``, ``("stale", None)`` for a wrong
+    format stamp or key repr (schema bump, digest collision), or
+    ``("error", None)`` for bytes that are not a well-formed envelope
+    (torn write survivor, alien file, incompatible interpreter).
+    Never raises.
+    """
+    stream = io.BytesIO(data)
+    try:
+        header = pickle.load(stream)
+        format_stamp = header["format"]
+        key_repr = header["key"]
+    except Exception:
+        return "error", None
+    if format_stamp != expected or key_repr != repr(key):
+        return "stale", None
+    try:
+        return "hit", pickle.load(stream)
+    except Exception:
+        return "error", None
+
+
+class _ThreadSafeCounters:
+    """Mixin giving a stats dataclass an internal lock and an atomic
+    multi-counter :meth:`add` — one store instance is hammered by many
+    threads (the memory layer's waiters, the serve daemon's handler
+    threads), and ``+=`` on a dataclass field is not atomic."""
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def add(self, **amounts: int) -> None:
+        with self._lock:
+            for name, amount in amounts.items():
+                setattr(self, name, getattr(self, name) + amount)
+
 
 @dataclass
-class DiskStats:
+class DiskStats(_ThreadSafeCounters):
     """Telemetry counters of one :class:`DiskArtifactCache`."""
 
     hits: int = 0
@@ -79,16 +164,40 @@ class DiskStats:
     bytes_written: int = 0
 
     def as_dict(self) -> Dict[str, int]:
-        return {
-            "disk_hits": self.hits,
-            "disk_misses": self.misses,
-            "disk_stale": self.stale,
-            "disk_errors": self.errors,
-            "disk_writes": self.writes,
-            "disk_write_skips": self.write_skips,
-            "disk_bytes_read": self.bytes_read,
-            "disk_bytes_written": self.bytes_written,
-        }
+        with self._lock:
+            return {
+                "disk_hits": self.hits,
+                "disk_misses": self.misses,
+                "disk_stale": self.stale,
+                "disk_errors": self.errors,
+                "disk_writes": self.writes,
+                "disk_write_skips": self.write_skips,
+                "disk_bytes_read": self.bytes_read,
+                "disk_bytes_written": self.bytes_written,
+            }
+
+
+#: every remote-backend counter name (mirrors
+#: :class:`repro.dist.remote.RemoteStats`; a test pins the two lists
+#: together) — listed here so the base pipeline layer can zero-fill
+#: uniform telemetry without importing the dist layer.
+REMOTE_COUNTERS = ("remote_hits", "remote_misses", "remote_stale",
+                   "remote_errors", "remote_writes",
+                   "remote_write_skips", "remote_bytes_read",
+                   "remote_bytes_written")
+
+
+def empty_telemetry() -> Dict[str, int]:
+    """Zeroed counters of every backend kind (disk and remote).
+
+    All :class:`~repro.dist.base.ArtifactStore` backends report over
+    this key set, so :meth:`~repro.pipeline.cache.ArtifactCache.
+    telemetry` snapshots diff cleanly whichever backend (or none) is
+    attached.
+    """
+    counters = DiskStats().as_dict()
+    counters.update({name: 0 for name in REMOTE_COUNTERS})
+    return counters
 
 
 @dataclass
@@ -115,55 +224,42 @@ class DiskArtifactCache:
 
     Instances are cheap: workers each build their own against the same
     ``root`` and coordinate purely through atomic filesystem renames.
+    The root directory is created lazily on the first write, so
+    read-only operations (``cache stats`` on a store that does not
+    exist yet) see an empty inventory instead of a side effect or an
+    error.
     """
 
     def __init__(self, root: str):
         self.root = os.path.abspath(root)
         self.stats = DiskStats()
-        # telemetry counters are read-modify-write; one cache may be
-        # shared by many threads (the memory layer's in-flight events
-        # exist for exactly that pattern)
-        self._stats_lock = threading.Lock()
-        os.makedirs(os.path.join(self.root, STORE_LAYOUT),
-                    exist_ok=True)
 
     # ------------------------------------------------------------------
     # Key → path
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _kind_of(key: Hashable) -> str:
-        if isinstance(key, tuple) and key and isinstance(key[0], str):
-            return key[0]
-        return "misc"
-
-    @staticmethod
-    def _digest_of(key: Hashable) -> str:
-        return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
-
     def _path(self, key: Hashable) -> str:
-        digest = self._digest_of(key)
-        return os.path.join(self.root, STORE_LAYOUT, self._kind_of(key),
+        return self.raw_path(kind_of(key), digest_of(key))
+
+    def raw_path(self, kind: str, digest: str) -> str:
+        """Where the entry ``(kind, digest)`` lives on disk."""
+        return os.path.join(self.root, STORE_LAYOUT, kind,
                             digest[:2], digest + ".pkl")
 
     # ------------------------------------------------------------------
     # Read / write
     # ------------------------------------------------------------------
 
-    def _count(self, counter: str, amount: int = 1) -> None:
-        with self._stats_lock:
-            setattr(self.stats, counter,
-                    getattr(self.stats, counter) + amount)
-
     def get(self, key: Hashable) -> Any:
         """The stored artifact, or :data:`MISS`.
 
         Never raises: a missing, stale-format, corrupt or truncated
         entry is a miss.  Corrupt entries are unlinked best-effort so
-        they do not cost a failed unpickle on every later run.
+        they do not cost a failed unpickle on every later run.  A hit
+        refreshes the entry's mtime — ``gc(max_bytes=...)`` evicts
+        least-recently-*used*, not least-recently-written.
         """
-        kind = self._kind_of(key)
-        expected = ARTIFACT_FORMATS.get(kind)
+        expected = ARTIFACT_FORMATS.get(kind_of(key))
         if expected is None:
             return MISS
         path = self._path(key)
@@ -171,37 +267,18 @@ class DiskArtifactCache:
             with open(path, "rb") as handle:
                 data = handle.read()
         except OSError:
-            self._count("misses")
+            self.stats.add(misses=1)
             return MISS
-        # two concatenated pickles: a small metadata header, then the
-        # payload — so maintenance can check the version stamp without
-        # materializing whole state graphs
-        stream = io.BytesIO(data)
-        try:
-            header = pickle.load(stream)
-            format_stamp = header["format"]
-            key_repr = header["key"]
-        except Exception:
-            # torn write survivor (pre-rename crash can't produce one,
-            # but a full disk or an alien file in the tree can), or a
-            # pickle from an incompatible interpreter: recompute.
-            self._count("errors")
+        status, payload = decode_entry(data, key, expected)
+        if status == "error":
+            self.stats.add(errors=1)
             self._unlink_quietly(path)
             return MISS
-        if format_stamp != expected or key_repr != repr(key):
-            # stale schema (or an astronomically unlikely digest
-            # collision): ignore, the next put overwrites it.
-            self._count("stale")
+        if status == "stale":
+            self.stats.add(stale=1)
             return MISS
-        try:
-            payload = pickle.load(stream)
-        except Exception:
-            self._count("errors")
-            self._unlink_quietly(path)
-            return MISS
-        with self._stats_lock:
-            self.stats.hits += 1
-            self.stats.bytes_read += len(data)
+        self.stats.add(hits=1, bytes_read=len(data))
+        self._touch(path)
         return payload
 
     def put(self, key: Hashable, value: Any) -> bool:
@@ -210,19 +287,64 @@ class DiskArtifactCache:
         Unpicklable values and filesystem failures are swallowed — the
         store is an accelerator, never a correctness dependency.
         """
-        kind = self._kind_of(key)
-        version = ARTIFACT_FORMATS.get(kind)
+        version = ARTIFACT_FORMATS.get(kind_of(key))
         if version is None:
             return False
         try:
-            data = (pickle.dumps({"format": version, "key": repr(key)},
-                                 protocol=pickle.HIGHEST_PROTOCOL)
-                    + pickle.dumps(value,
-                                   protocol=pickle.HIGHEST_PROTOCOL))
+            data = encode_entry(key, value, version)
         except Exception:
-            self._count("write_skips")
+            self.stats.add(write_skips=1)
             return False
-        path = self._path(key)
+        if not self._write_atomically(self._path(key), data):
+            self.stats.add(write_skips=1)
+            return False
+        self.stats.add(writes=1, bytes_written=len(data))
+        return True
+
+    # ------------------------------------------------------------------
+    # Raw entry access (the HTTP server / remote protocol)
+    # ------------------------------------------------------------------
+
+    def get_raw(self, kind: str, digest: str) -> Optional[bytes]:
+        """Raw envelope bytes of entry ``(kind, digest)``, or ``None``.
+
+        The serve daemon streams these to remote workers without ever
+        unpickling them; format stamps are the *client's* business.
+        A hit refreshes the mtime, so a served store still evicts LRU.
+        """
+        path = self.raw_path(kind, digest)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            self.stats.add(misses=1)
+            return None
+        self.stats.add(hits=1, bytes_read=len(data))
+        self._touch(path)
+        return data
+
+    def put_raw(self, kind: str, digest: str, data: bytes) -> bool:
+        """Store raw envelope bytes under ``(kind, digest)``.
+
+        Atomic like :meth:`put`; concurrent PUTs of the same entry are
+        idempotent (both succeed, readers always see a complete
+        entry).  The caller is responsible for validating ``kind`` and
+        ``digest`` — the serve daemon does.
+        """
+        if not self._write_atomically(self.raw_path(kind, digest), data):
+            self.stats.add(write_skips=1)
+            return False
+        self.stats.add(writes=1, bytes_written=len(data))
+        return True
+
+    def has_raw(self, kind: str, digest: str) -> Optional[int]:
+        """Entry size in bytes if present, else ``None`` (HTTP HEAD)."""
+        try:
+            return os.path.getsize(self.raw_path(kind, digest))
+        except OSError:
+            return None
+
+    def _write_atomically(self, path: str, data: bytes) -> bool:
         directory = os.path.dirname(path)
         try:
             os.makedirs(directory, exist_ok=True)
@@ -236,12 +358,15 @@ class DiskArtifactCache:
                 self._unlink_quietly(temp_path)
                 raise
         except OSError:
-            self._count("write_skips")
             return False
-        with self._stats_lock:
-            self.stats.writes += 1
-            self.stats.bytes_written += len(data)
         return True
+
+    @staticmethod
+    def _touch(path: str) -> None:
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
 
     @staticmethod
     def _unlink_quietly(path: str) -> None:
@@ -249,6 +374,13 @@ class DiskArtifactCache:
             os.unlink(path)
         except OSError:
             pass
+
+    def telemetry(self) -> Dict[str, int]:
+        """This backend's counters over the full backend counter set
+        (remote counters are zero — there is no remote layer here)."""
+        counters = empty_telemetry()
+        counters.update(self.stats.as_dict())
+        return counters
 
     # ------------------------------------------------------------------
     # Maintenance (``si-mapper cache stats | gc | clear``)
@@ -280,7 +412,11 @@ class DiskArtifactCache:
         return found
 
     def report(self) -> StoreReport:
-        """Inventory of the store (entries and bytes, per kind)."""
+        """Inventory of the store (entries and bytes, per kind).
+
+        A missing root is simply an empty store — pointing ``cache
+        stats`` at a directory that does not exist yet must not fail.
+        """
         report = StoreReport(root=self.root)
         for kind, path in self._entries():
             try:
@@ -293,8 +429,8 @@ class DiskArtifactCache:
             report.by_kind[kind] = (count + 1, total + size)
         return report
 
-    def gc(self, max_age_seconds: Optional[float] = None
-           ) -> Tuple[int, int]:
+    def gc(self, max_age_seconds: Optional[float] = None,
+           max_bytes: Optional[int] = None) -> Tuple[int, int]:
         """Drop unusable entries; returns ``(removed, freed_bytes)``.
 
         Removes: entries of *older* layouts (a newer binary's layout
@@ -304,6 +440,11 @@ class DiskArtifactCache:
         (optionally) entries older than ``max_age_seconds``.  Only the
         small metadata header of each entry is unpickled, never the
         payload.
+
+        With ``max_bytes``, the surviving entries are then evicted
+        least-recently-used (by mtime, which :meth:`get` refreshes)
+        until the store fits the budget: the newest entries survive
+        exactly up to ``max_bytes``.
         """
         removed = 0
         freed = 0
@@ -322,7 +463,17 @@ class DiskArtifactCache:
         # (interrupted writes) — never files outside the store-owned
         # ``v*`` directories, and never a *newer* layout: a shared
         # store may be fed by a newer binary whose entries this one
-        # cannot judge.
+        # cannot judge.  Temp files young enough to be an in-flight
+        # write are left alone: on a served store, gc runs while
+        # workers PUT.
+        now = time.time()
+
+        def abandoned(path: str) -> bool:
+            try:
+                return now - os.path.getmtime(path) > TEMP_REAP_SECONDS
+            except OSError:
+                return False
+
         current_version = int(STORE_LAYOUT[1:])
         for layout in self._layout_roots():
             version = int(os.path.basename(layout)[1:])
@@ -331,10 +482,13 @@ class DiskArtifactCache:
             obsolete = version < current_version
             for directory, _, names in os.walk(layout):
                 for name in names:
-                    if obsolete or name.startswith(".tmp-"):
-                        reap(os.path.join(directory, name))
+                    path = os.path.join(directory, name)
+                    if name.startswith(".tmp-"):
+                        if abandoned(path):
+                            reap(path)
+                    elif obsolete:
+                        reap(path)
         # current layout: stale / alien / expired entries
-        now = time.time()
         for kind, path in self._entries():
             expected = ARTIFACT_FORMATS.get(kind)
             if expected is None:
@@ -355,7 +509,36 @@ class DiskArtifactCache:
                     reap(path)
             except Exception:
                 reap(path)
+        if max_bytes is not None:
+            removed, freed = self._evict_lru(max_bytes, removed, freed)
         self._prune_empty_directories()
+        return removed, freed
+
+    def _evict_lru(self, max_bytes: int, removed: int,
+                   freed: int) -> Tuple[int, int]:
+        """Evict oldest-used entries until the store fits the budget."""
+        survivors: List[Tuple[float, str, int]] = []
+        for _, path in self._entries():
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            survivors.append((stat.st_mtime, path, stat.st_size))
+        # newest first; path tie-break keeps equal-mtime runs stable
+        survivors.sort(reverse=True)
+        budget = max_bytes
+        overflowed = False
+        for _, path, size in survivors:
+            if not overflowed and size <= budget:
+                budget -= size
+                continue
+            overflowed = True
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            removed += 1
+            freed += size
         return removed, freed
 
     def clear(self) -> Tuple[int, int]:
@@ -388,8 +571,6 @@ class DiskArtifactCache:
                     os.rmdir(directory)   # fails unless empty — fine
                 except OSError:
                     pass
-        os.makedirs(os.path.join(self.root, STORE_LAYOUT),
-                    exist_ok=True)
 
     def __repr__(self) -> str:
         return (f"DiskArtifactCache({self.root!r}, "

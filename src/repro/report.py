@@ -74,21 +74,58 @@ class Table1Row:
                          else str(self.csc_signals))
         return cells
 
+    # ------------------------------------------------------------------
+    # Shard-file serialization (``si-mapper report --shard / --merge``)
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> Dict:
+        """A JSON-safe dict; :meth:`from_json` round-trips exactly, so
+        a merged shard row is ``==`` the in-process row."""
+        return {
+            "name": self.name,
+            "histogram": list(self.histogram),
+            # JSON keys are strings; from_json restores the ints
+            "inserted": {str(k): v for k, v in self.inserted.items()},
+            "siegel_2lit": self.siegel_2lit,
+            "non_si_cost": list(self.non_si_cost),
+            "si_cost": (None if self.si_cost is None
+                        else list(self.si_cost)),
+            "siegel_ran": self.siegel_ran,
+            "csc_signals": self.csc_signals,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "Table1Row":
+        return cls(
+            name=data["name"],
+            histogram=list(data["histogram"]),
+            inserted={int(k): v for k, v in data["inserted"].items()},
+            siegel_2lit=data["siegel_2lit"],
+            non_si_cost=tuple(data["non_si_cost"]),
+            si_cost=(None if data["si_cost"] is None
+                     else tuple(data["si_cost"])),
+            siegel_ran=data["siegel_ran"],
+            csc_signals=data["csc_signals"],
+        )
+
 
 def table1_row(name: str, libraries: Sequence[int] = (2, 3, 4),
                config: Optional[MapperConfig] = None,
                with_siegel: bool = True,
-               cache_dir: Optional[str] = None) -> Table1Row:
+               cache_dir: Optional[str] = None,
+               cache_url: Optional[str] = None) -> Table1Row:
     """Run the full Table-1 battery for one benchmark.
 
     One :class:`repro.pipeline.Pipeline` run: the k-battery and the
     baseline share a single reachability pass and initial synthesis.
-    With ``cache_dir`` they also persist across processes.
+    With ``cache_dir`` (or a ``cache_url`` server) they also persist
+    across processes and machines.
     """
     from repro.pipeline import Pipeline, PipelineConfig
     pipeline = Pipeline(PipelineConfig(
         libraries=tuple(libraries), with_siegel=with_siegel,
-        mapper=config, keep_artifacts=False, cache_dir=cache_dir))
+        mapper=config, keep_artifacts=False, cache_dir=cache_dir,
+        cache_url=cache_url))
     return pipeline.run(name).row
 
 
@@ -169,13 +206,57 @@ def summarize(rows: Sequence[Table1Row]) -> str:
     return "\n".join(lines)
 
 
+def run_battery(names: Sequence[str],
+                libraries: Sequence[int] = (2, 3, 4),
+                config: Optional[MapperConfig] = None,
+                with_siegel: bool = True,
+                progress: bool = False,
+                jobs: Optional[int] = None,
+                cache_dir: Optional[str] = None,
+                cache_url: Optional[str] = None):
+    """Run the Table-1 battery over ``names``; the raw ``BatchItem``
+    list in input order (one per circuit, errored or not).
+
+    This is the layer under :func:`table1` that shard runs use
+    directly — a shard file needs the failures and the exact subset,
+    not just the formatted text.  With ``cache_dir`` / ``cache_url``
+    every worker warm-starts from (and feeds) the persistent or
+    remote artifact store.
+    """
+    from repro.pipeline import BatchRunner, PipelineConfig
+    runner = BatchRunner(PipelineConfig(
+        libraries=tuple(libraries), with_siegel=with_siegel,
+        mapper=config, keep_artifacts=False, cache_dir=cache_dir,
+        cache_url=cache_url), jobs=jobs)
+    callback = ((lambda name: print(f"... {name}", flush=True))
+                if progress else None)
+    return runner.run(list(names), progress=callback)
+
+
+def render_report(rows: Sequence[Table1Row],
+                  failures: Sequence[Tuple[str, str]] = ()) -> str:
+    """The printed report: table, headline summary, error lines.
+
+    One rendering shared by the in-process :func:`table1` and the
+    shard merge (:func:`repro.dist.shard.merge_shards`) — byte-for-
+    byte, which is what makes "merged output == unsharded output" a
+    meaningful equality.
+    """
+    text = format_rows(rows) + "\n\n" + summarize(rows)
+    if failures:
+        text += "\n\n" + "\n".join(
+            f"{name}: ERROR {error}" for name, error in failures)
+    return text
+
+
 def table1(names: Optional[Sequence[str]] = None,
            libraries: Sequence[int] = (2, 3, 4),
            config: Optional[MapperConfig] = None,
            with_siegel: bool = True,
            progress: bool = False,
            jobs: Optional[int] = None,
-           cache_dir: Optional[str] = None
+           cache_dir: Optional[str] = None,
+           cache_url: Optional[str] = None
            ) -> Tuple[List[Table1Row], str]:
     """Run the whole Table-1 experiment; returns (rows, formatted).
 
@@ -183,21 +264,18 @@ def table1(names: Optional[Sequence[str]] = None,
     (``jobs=None`` uses every CPU, ``jobs=1`` forces serial).  A
     circuit that errors is reported below the table instead of killing
     the run.  With ``cache_dir`` every worker warm-starts from (and
-    feeds) the persistent artifact store at that path.
+    feeds) the persistent artifact store at that path; ``cache_url``
+    does the same against a ``si-mapper serve`` daemon.  Sharded
+    multi-machine runs live in the CLI (``report --shard`` /
+    ``--merge``) on top of :func:`run_battery` — see
+    :mod:`repro.dist.shard`.
     """
-    from repro.pipeline import BatchRunner, PipelineConfig
     chosen = list(names) if names is not None else benchmark_names()
-    runner = BatchRunner(PipelineConfig(
-        libraries=tuple(libraries), with_siegel=with_siegel,
-        mapper=config, keep_artifacts=False, cache_dir=cache_dir),
-        jobs=jobs)
-    callback = ((lambda name: print(f"... {name}", flush=True))
-                if progress else None)
-    items = runner.run(chosen, progress=callback)
+    items = run_battery(chosen, libraries=libraries, config=config,
+                        with_siegel=with_siegel, progress=progress,
+                        jobs=jobs, cache_dir=cache_dir,
+                        cache_url=cache_url)
     rows = [item.record.row for item in items if item.ok]
-    text = format_rows(rows) + "\n\n" + summarize(rows)
-    failures = [item for item in items if not item.ok]
-    if failures:
-        text += "\n\n" + "\n".join(
-            f"{item.name}: ERROR {item.error}" for item in failures)
-    return rows, text
+    failures = [(item.name, item.error) for item in items
+                if not item.ok]
+    return rows, render_report(rows, failures)

@@ -1,0 +1,268 @@
+"""Deterministic sharding and the validating merge: partition
+properties, shard-file round-trips, and CLI-level byte-identity of
+``--shard``+``--merge`` against the unsharded report."""
+
+import json
+
+import pytest
+
+from repro.bench_suite import benchmark_names
+from repro.cli import main
+from repro.dist.shard import (SHARD_SCHEMA, merge_shards, parse_shard,
+                              read_shard, shard_index, shard_names,
+                              shard_payload, write_shard)
+from repro.errors import ShardError
+from repro.report import Table1Row, render_report
+
+
+class TestParseShard:
+    @pytest.mark.parametrize("spec,expected", [
+        ("1/1", (1, 1)), ("2/4", (2, 4)), (" 3/3 ", (3, 3)),
+    ])
+    def test_valid(self, spec, expected):
+        assert parse_shard(spec) == expected
+
+    @pytest.mark.parametrize("spec", [
+        "", "1", "0/4", "5/4", "1/0", "-1/4", "a/b", "1/2/3",
+    ])
+    def test_invalid(self, spec):
+        with pytest.raises(ShardError):
+            parse_shard(spec)
+
+
+class TestPartition:
+    def test_shards_are_disjoint_and_complete(self):
+        names = benchmark_names()
+        parts = [shard_names(names, i, 4) for i in (1, 2, 3, 4)]
+        flat = [name for part in parts for name in part]
+        assert sorted(flat) == sorted(names)
+        assert len(flat) == len(set(flat))
+
+    def test_partition_ignores_list_order(self):
+        """The shard a circuit lands in depends on its *name* only —
+        machines sharding differently-ordered lists still agree."""
+        names = benchmark_names()
+        shuffled = list(reversed(names))
+        assert (set(shard_names(names, 1, 3))
+                == set(shard_names(shuffled, 1, 3)))
+
+    def test_partition_is_stable_across_processes(self):
+        """sha256, not Python's salted hash: the assignment is a fixed
+        function of the name."""
+        assert shard_index("half", 2) == 1
+        assert shard_index("dff", 2) == 2
+
+    def test_single_shard_is_everything(self):
+        names = benchmark_names()
+        assert shard_names(names, 1, 1) == names
+
+    def test_subset_preserves_input_order(self):
+        names = ["dff", "half", "nowick", "hazard"]
+        assert shard_names(names, 2, 2) == ["dff", "nowick"]
+
+
+def _row(name, inserted=0):
+    return Table1Row(name=name, histogram=[1, 0, 0, 0, 0, 0],
+                     inserted={2: inserted}, siegel_2lit=None,
+                     non_si_cost=(3, 1), si_cost=(4, 2),
+                     siegel_ran=False)
+
+
+class TestShardFiles:
+    def test_row_json_round_trip(self):
+        row = Table1Row(name="x", histogram=[1, 2, 0, 0, 0, 3],
+                        inserted={2: 1, 3: None}, siegel_2lit=2,
+                        non_si_cost=(10, 4), si_cost=None,
+                        siegel_ran=True, csc_signals=1)
+        assert Table1Row.from_json(
+            json.loads(json.dumps(row.to_json()))) == row
+
+    def test_write_read_round_trip(self, tmp_path):
+        payload = shard_payload(["half", "dff"], (1, 2), (2,), False,
+                                None, [_row("half")], [])
+        path = str(tmp_path / "s.json")
+        write_shard(path, payload)
+        assert read_shard(path) == json.loads(json.dumps(payload))
+
+    def test_read_rejects_non_shard_files(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("{}")
+        with pytest.raises(ShardError):
+            read_shard(str(path))
+        path.write_text("not json")
+        with pytest.raises(ShardError):
+            read_shard(str(path))
+
+    def test_read_rejects_truncated_payloads(self, tmp_path):
+        """A valid schema stamp alone is not a shard file: missing
+        sections must be a clean ShardError, never a KeyError out of
+        the merge."""
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({"schema": SHARD_SCHEMA}))
+        with pytest.raises(ShardError, match="incomplete"):
+            read_shard(str(path))
+        payload = shard_payload(["half"], (1, 1), (2,), False, None,
+                                [], [])
+        payload["shard"] = "1/1"               # wrong shape
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ShardError, match="malformed shard"):
+            read_shard(str(path))
+        payload["shard"] = [0, 0]              # would divide by zero
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ShardError, match="malformed shard"):
+            read_shard(str(path))
+
+    def test_read_rejects_future_schema(self, tmp_path):
+        payload = shard_payload(["half"], (1, 1), (2,), False, None,
+                                [], [])
+        payload["schema"] = SHARD_SCHEMA + 1
+        path = str(tmp_path / "s.json")
+        write_shard(path, payload)
+        with pytest.raises(ShardError, match="schema"):
+            read_shard(str(path))
+
+
+class TestMerge:
+    NAMES = ["half", "dff"]          # half -> shard 1, dff -> shard 2
+
+    def _payloads(self):
+        return [
+            shard_payload(self.NAMES, (1, 2), (2,), False, None,
+                          [_row("half")], []),
+            shard_payload(self.NAMES, (2, 2), (2,), False, None,
+                          [_row("dff")], []),
+        ]
+
+    def test_merge_reassembles_in_suite_order(self):
+        # shard 2 first: merge must not care about file order
+        payloads = list(reversed(self._payloads()))
+        rows, failures, text = merge_shards(payloads)
+        assert [row.name for row in rows] == self.NAMES
+        assert failures == []
+        assert text == render_report(rows, [])
+
+    def test_merge_carries_failures_in_order(self):
+        payloads = self._payloads()
+        payloads[1]["rows"] = []
+        payloads[1]["failures"] = [["dff", "MappingError: boom"]]
+        rows, failures, text = merge_shards(payloads)
+        assert failures == [("dff", "MappingError: boom")]
+        assert "dff: ERROR MappingError: boom" in text
+
+    def test_merge_refuses_missing_shard(self):
+        with pytest.raises(ShardError, match="missing shard"):
+            merge_shards(self._payloads()[:1])
+
+    def test_merge_refuses_duplicate_shard(self):
+        first, _ = self._payloads()
+        with pytest.raises(ShardError, match="duplicate"):
+            merge_shards([first, first])
+
+    def test_merge_refuses_mixed_configurations(self):
+        first, second = self._payloads()
+        second["libraries"] = [2, 3]
+        with pytest.raises(ShardError, match="libraries"):
+            merge_shards([first, second])
+        first, second = self._payloads()
+        second["mapper"] = "MapperConfig(solve_csc=True)"
+        with pytest.raises(ShardError, match="mapper"):
+            merge_shards([first, second])
+
+    def test_merge_refuses_rows_outside_the_partition(self):
+        first, second = self._payloads()
+        second["rows"] = [_row("half").to_json()]    # shard 1's row
+        with pytest.raises(ShardError, match="not in its partition"):
+            merge_shards([first, second])
+
+    def test_merge_refuses_unaccounted_circuits(self):
+        first, second = self._payloads()
+        second["rows"] = []
+        with pytest.raises(ShardError, match="accounted"):
+            merge_shards([first, second])
+
+    def test_merge_refuses_nothing(self):
+        with pytest.raises(ShardError):
+            merge_shards([])
+
+
+def _report_lines(text):
+    """The report body: progress lines stripped, trailing noise kept."""
+    return [line for line in text.splitlines()
+            if not line.startswith("... ")]
+
+
+class TestCliShardMerge:
+    """The acceptance criterion, end to end through ``main``: two
+    shards merged == the unsharded run, byte for byte."""
+
+    NAMES = ["half", "hazard", "dff"]     # 2 in shard 1, 1 in shard 2
+
+    def test_two_shard_merge_is_byte_identical(self, tmp_path,
+                                               capsys):
+        base = ["report", *self.NAMES, "-k", "2", "--no-siegel",
+                "-j", "1"]
+        assert main(base) == 0
+        single = _report_lines(capsys.readouterr().out)
+
+        s1 = str(tmp_path / "s1.json")
+        s2 = str(tmp_path / "s2.json")
+        assert main(base + ["--shard", "1/2", "--out", s1]) == 0
+        assert main(base + ["--shard", "2/2", "--out", s2]) == 0
+        capsys.readouterr()
+        assert main(["report", "--merge", s1, s2]) == 0
+        merged = _report_lines(capsys.readouterr().out)
+        assert merged == single
+
+    def test_shard_run_prints_its_subset_only(self, tmp_path, capsys):
+        out = str(tmp_path / "s.json")
+        assert main(["report", *self.NAMES, "-k", "2", "--no-siegel",
+                     "-j", "1", "--shard", "2/2", "--out", out]) == 0
+        captured = capsys.readouterr()
+        assert "dff" in captured.out
+        assert "hazard" not in captured.out
+        assert "-> " + out in captured.err
+        payload = read_shard(out)
+        assert payload["names"] == self.NAMES
+        assert [row["name"] for row in payload["rows"]] == ["dff"]
+
+    def test_merge_rejects_extra_arguments(self, tmp_path, capsys):
+        assert main(["report", "half", "--merge", "x.json"]) == 2
+        assert "--merge" in capsys.readouterr().err
+        # --out is shard-file output; the merged report goes to stdout
+        assert main(["report", "--merge", "x.json",
+                     "--out", "y.txt"]) == 2
+        assert "--merge" in capsys.readouterr().err
+        # battery flags cannot re-render recorded shards
+        assert main(["report", "--merge", "x.json", "-k", "3"]) == 2
+        assert "configuration" in capsys.readouterr().err
+
+    def test_merge_rejects_malformed_rows(self, tmp_path, capsys):
+        payload = shard_payload(["half"], (1, 1), (2,), False, None,
+                                [], [])
+        payload["rows"] = [{"name": "half"}]   # truncated row object
+        path = str(tmp_path / "s.json")
+        write_shard(path, payload)
+        assert main(["report", "--merge", path]) == 2
+        assert "malformed row" in capsys.readouterr().err
+
+    def test_merge_error_is_a_clean_exit(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["report", "--merge", missing]) == 2
+        assert "cannot read shard file" in capsys.readouterr().err
+
+    def test_bad_shard_spec_is_a_clean_exit(self, capsys):
+        assert main(["report", "half", "--shard", "9/2"]) == 2
+        assert "bad shard spec" in capsys.readouterr().err
+
+    def test_out_without_shard_is_refused(self, tmp_path, capsys):
+        """--out is shard-file output; silently ignoring it would cost
+        the user a full battery with nothing written."""
+        out = str(tmp_path / "t.json")
+        assert main(["report", "half", "--out", out]) == 2
+        assert "--shard" in capsys.readouterr().err
+
+    def test_unwritable_out_is_a_clean_exit(self, capsys):
+        assert main(["report", "half", "-k", "2", "--no-siegel",
+                     "-j", "1", "--shard", "1/1",
+                     "--out", "/no/such/dir/s.json"]) == 2
+        assert "cannot write shard file" in capsys.readouterr().err

@@ -145,11 +145,20 @@ class TestStoreMaintenance:
         alien = tmp_path / STORE_LAYOUT / "ghost" / "00" / ("1" * 64 + ".pkl")
         alien.parent.mkdir(parents=True)
         alien.write_bytes(b"whatever")
-        # a leftover temp file from an interrupted write
-        (tmp_path / STORE_LAYOUT / "sg" / ".tmp-dead.pkl").write_bytes(b"")
+        # a leftover temp file from an interrupted write (old enough
+        # that it cannot be an in-flight upload)...
+        dead = tmp_path / STORE_LAYOUT / "sg" / ".tmp-dead.pkl"
+        dead.write_bytes(b"")
+        os.utime(dead, (0, 0))
+        # ...and a *fresh* temp file: possibly a concurrent PUT on a
+        # served store — gc must leave it alone
+        live = tmp_path / STORE_LAYOUT / "sg" / ".tmp-inflight.pkl"
+        live.write_bytes(b"")
         removed, _ = store.gc()
         assert removed == 3
         assert store.get(KEY) == "good"      # the healthy entry survives
+        assert live.exists()                 # in-flight write untouched
+        assert not dead.exists()
 
     def test_gc_leaves_newer_layouts_alone(self, tmp_path):
         """A shared store may be fed by a newer binary; this one's gc
@@ -262,6 +271,172 @@ class TestWarmStart:
         record = Pipeline(BATTERY).run("half")
         assert record.stats["disk_hits"] == 0
         assert record.stats["disk_writes"] == 0
+
+
+class TestGcSizeBudget:
+    """``gc(max_bytes=...)``: LRU eviction by last-used mtime — the
+    newest entries survive exactly up to the budget."""
+
+    @staticmethod
+    def _aged_entries(store, count):
+        """``count`` entries with strictly increasing last-used times;
+        returns their (path, size) newest-first."""
+        entries = []
+        for index in range(count):
+            key = ("sg", f"{index:064x}")
+            store.put(key, "payload-%04d" % index)
+            path = store._path(key)
+            os.utime(path, (1000.0 + index, 1000.0 + index))
+            entries.append((path, os.path.getsize(path)))
+        return list(reversed(entries))
+
+    def test_newest_survive_exactly_up_to_budget(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        newest_first = self._aged_entries(store, 5)
+        size = newest_first[0][1]              # all entries equal-sized
+        budget = 2 * size + size // 2          # room for exactly two
+        removed, freed = store.gc(max_bytes=budget)
+        assert removed == 3
+        assert freed == 3 * size
+        survivors = {path for _, path in store._entries()}
+        assert survivors == {path for path, _ in newest_first[:2]}
+
+    def test_budget_larger_than_store_removes_nothing(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        self._aged_entries(store, 3)
+        assert store.gc(max_bytes=10**9) == (0, 0)
+        assert store.report().entries == 3
+
+    def test_zero_budget_empties_the_store(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        self._aged_entries(store, 3)
+        removed, _ = store.gc(max_bytes=0)
+        assert removed == 3
+        assert store.report().entries == 0
+
+    def test_get_refreshes_last_used(self, tmp_path):
+        """A *read* entry is recently-used: gc must keep it over a
+        younger-written but never-read one."""
+        store = DiskArtifactCache(str(tmp_path))
+        old = ("sg", "a" * 64)
+        young = ("sg", "b" * 64)
+        store.put(old, "payload")
+        store.put(young, "payload")
+        for key, when in ((old, 1000.0), (young, 2000.0)):
+            os.utime(store._path(key), (when, when))
+        assert store.get(old) == "payload"     # touches mtime to now
+        size = os.path.getsize(store._path(old))
+        removed, _ = store.gc(max_bytes=size + size // 2)
+        assert removed == 1
+        assert store.get(old) == "payload"     # read entry survived
+        assert store.get(young) is MISS
+
+    def test_cli_gc_max_bytes(self, tmp_path, capsys):
+        from repro.cli import main
+        store = DiskArtifactCache(str(tmp_path))
+        self._aged_entries(store, 4)
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-bytes", "0"]) == 0
+        assert "removed 4 entries" in capsys.readouterr().out
+        assert store.report().entries == 0
+
+
+class TestMissingStoreDirectory:
+    """Read-only operations on a store that does not exist yet: empty
+    inventory, exit 0, and no directory materializes as a side
+    effect."""
+
+    def test_report_on_missing_root_is_empty(self, tmp_path):
+        missing = str(tmp_path / "never" / "created")
+        store = DiskArtifactCache(missing)
+        report = store.report()
+        assert report.entries == 0 and report.bytes == 0
+        assert "0 entries" in report.pretty()
+        assert not os.path.exists(missing)
+
+    def test_constructor_is_side_effect_free(self, tmp_path):
+        missing = str(tmp_path / "lazy")
+        store = DiskArtifactCache(missing)
+        assert not os.path.exists(missing)
+        assert store.get(KEY) is MISS          # still nothing created
+        assert not os.path.exists(missing)
+        store.put(KEY, "x")                    # first write creates it
+        assert os.path.exists(missing)
+
+    def test_gc_and_clear_on_missing_root(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path / "void"))
+        assert store.gc() == (0, 0)
+        assert store.gc(max_bytes=0) == (0, 0)
+        assert store.clear() == (0, 0)
+
+    def test_cli_cache_stats_missing_dir_exits_zero(self, tmp_path,
+                                                    capsys):
+        from repro.cli import main
+        missing = str(tmp_path / "no" / "such" / "store")
+        assert main(["cache", "stats", "--cache-dir", missing]) == 0
+        assert "0 entries, 0 bytes" in capsys.readouterr().out
+        assert not os.path.exists(missing)
+
+
+class TestStatsThreadSafety:
+    """One store hammered by many threads (the serve daemon's handler
+    pool): counter totals must be exact, not approximately right."""
+
+    THREADS = 8
+    ROUNDS = 50
+
+    def test_concurrent_gets_and_puts_count_exactly(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        present = ("sg", "c" * 64)
+        absent = ("sg", "d" * 64)
+        store.put(present, "shared-payload")
+        entry_bytes = store.stats.bytes_written
+        barrier = threading.Barrier(self.THREADS)
+        failures = []
+
+        def hammer(index):
+            try:
+                barrier.wait()
+                for round_number in range(self.ROUNDS):
+                    assert store.get(present) == "shared-payload"
+                    assert store.get(absent) is MISS
+                    key = ("map", f"{index:02d}{round_number:04d}"
+                           + "0" * 58, 2, "global", ())
+                    assert store.put(key, (index, round_number))
+            except Exception as error:  # pragma: no cover - fail loud
+                failures.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        total = self.THREADS * self.ROUNDS
+        assert store.stats.hits == total
+        assert store.stats.misses == total
+        assert store.stats.writes == total + 1
+        assert store.stats.bytes_read == total * entry_bytes
+        assert store.stats.errors == 0
+
+    def test_concurrent_puts_of_one_key_all_count(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        barrier = threading.Barrier(self.THREADS)
+
+        def overwrite():
+            barrier.wait()
+            for _ in range(self.ROUNDS):
+                assert store.put(KEY, "same-value")
+
+        threads = [threading.Thread(target=overwrite)
+                   for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.stats.writes == self.THREADS * self.ROUNDS
+        assert store.report().entries == 1     # idempotent on disk
 
 
 def _badseq_g() -> str:

@@ -153,11 +153,49 @@ b+/2 a+
         assert main(["cache", "stats", "--cache-dir", cache]) == 0
         assert "0 entries" in capsys.readouterr().out
 
-    def test_cache_subcommand_needs_directory(self, capsys,
-                                              monkeypatch):
+    def test_cache_subcommand_needs_store(self, capsys, monkeypatch):
         monkeypatch.delenv("SI_MAPPER_CACHE", raising=False)
+        monkeypatch.delenv("SI_MAPPER_CACHE_URL", raising=False)
         assert main(["cache", "stats"]) == 2
-        assert "no cache directory" in capsys.readouterr().err
+        assert "no cache store" in capsys.readouterr().err
+
+    def test_cache_url_env_var(self, tmp_path, capsys, monkeypatch):
+        """SI_MAPPER_CACHE_URL routes every command's artifacts
+        through a serve daemon, exactly like --cache-url."""
+        from repro.dist.server import ArtifactServer
+        monkeypatch.delenv("SI_MAPPER_CACHE", raising=False)
+        with ArtifactServer(str(tmp_path / "served"),
+                            port=0).start_background() as server:
+            monkeypatch.setenv("SI_MAPPER_CACHE_URL", server.url)
+            assert main(["map", "half", "-k", "2", "--timings"]) == 0
+            out = capsys.readouterr().out
+            assert "remote:" in out
+            assert main(["cache", "stats"]) == 0
+            out = capsys.readouterr().out
+            assert server.url in out and "sg" in out
+
+    def test_cache_flag_overrides_env_store(self, tmp_path, capsys,
+                                            monkeypatch):
+        """`cache` maintenance acts on exactly the store the operator
+        named: an explicit --cache-url must not silently tier with a
+        local store from $SI_MAPPER_CACHE (whose clear/gc would then
+        miss the server)."""
+        from repro.dist.server import ArtifactServer
+        local = tmp_path / "local-env-store"
+        monkeypatch.setenv("SI_MAPPER_CACHE", str(local))
+        with ArtifactServer(str(tmp_path / "served"),
+                            port=0).start_background() as server:
+            from repro.dist.remote import RemoteArtifactCache
+            RemoteArtifactCache(server.url).put(("sg", "f" * 64), "x")
+            assert main(["cache", "clear",
+                         "--cache-url", server.url]) == 0
+            assert "removed 1 entries" in capsys.readouterr().out
+            assert server.store.report().entries == 0
+
+    def test_serve_needs_directory(self, capsys, monkeypatch):
+        monkeypatch.delenv("SI_MAPPER_CACHE", raising=False)
+        assert main(["serve"]) == 2
+        assert "store directory" in capsys.readouterr().err
 
     @staticmethod
     def _badseq_file(tmp_path):

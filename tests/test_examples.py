@@ -49,6 +49,16 @@ def test_parallel_suite():
     assert "FAILED" not in out
 
 
+def test_distributed_suite():
+    out = run_example("distributed_suite.py")
+    assert "merged == single-machine report: True" in out
+    assert "warm re-run of shard 2:" in out
+    # the warm shard computes nothing and reads everything remotely
+    warm = out.rstrip().splitlines()[-1]
+    assert warm.startswith("  reach passes computed: 0, remote hits:")
+    assert not warm.endswith(" 0")
+
+
 @pytest.mark.slow
 def test_vbe10b_decomposition():
     out = run_example("vbe10b_decomposition.py", timeout=1800)
