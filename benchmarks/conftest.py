@@ -20,32 +20,33 @@ regenerates the paper's tables and figures in bounded time:
 """
 
 import os
+import time
 from typing import Dict
 
 import pytest
 
-from repro.bench_suite import benchmark_names
+from repro.bench_suite import SUBSET, benchmark_names
 from repro.dist.base import make_store
 from repro.mapping.decompose import MappingResult
 from repro.pipeline import ArtifactCache, SynthesisContext
-
-# Circuits that exercise every regime (small classics, mid-size
-# controllers, high-fanin joins, one of the hard input-dominated ones)
-# while keeping the default harness under a few minutes.
-SUBSET = [
-    "chu133", "converta", "dff", "half", "hazard", "nowick",
-    "rcv-setup", "vbe5b", "vbe6a", "mp-forward-pkt", "alloc-outbound",
-    "seq_mix", "trimos-send", "mr1", "wrdatab", "vbe10b",
-]
 
 _CACHE_DIR = os.environ.get("SI_MAPPER_CACHE")
 _CACHE_URL = os.environ.get("SI_MAPPER_CACHE_URL")
 _CACHE = ArtifactCache(disk=make_store(_CACHE_DIR, _CACHE_URL))
 _CONTEXTS: Dict[str, SynthesisContext] = {}
+#: circuit -> stage -> wall-clock seconds spent computing artifacts
+#: through this harness (feeds the SI_MAPPER_BENCH_OUT snapshot)
+_TIMINGS: Dict[str, Dict[str, float]] = {}
+
+
+def _record_seconds(name: str, stage: str, seconds: float) -> None:
+    per_stage = _TIMINGS.setdefault(name, {})
+    per_stage[stage] = per_stage.get(stage, 0.0) + seconds
 
 
 def pytest_terminal_summary(terminalreporter):
-    """Surface harness-wide cache telemetry in the benchmark output."""
+    """Surface harness-wide cache telemetry in the benchmark output,
+    and emit a perf snapshot when ``SI_MAPPER_BENCH_OUT`` names one."""
     telemetry = _CACHE.telemetry()
     store = " / ".join(filter(None, [_CACHE_DIR, _CACHE_URL]))
     terminalreporter.write_line(
@@ -57,6 +58,30 @@ def pytest_terminal_summary(terminalreporter):
         f"{telemetry['disk_bytes_read']} bytes read, "
         f"{telemetry['disk_bytes_written']} bytes written"
         + (f" (store: {store})" if store else ""))
+    out = os.environ.get("SI_MAPPER_BENCH_OUT")
+    if out and _CONTEXTS:
+        from repro import perf
+        circuits = []
+        for name, context in _CONTEXTS.items():
+            stages = dict(_TIMINGS.get(name, {}))
+            circuits.append({
+                "name": name,
+                "ok": True,
+                "seconds": sum(stages.values()),
+                "stages": stages,
+                "stats": {key: value for key, value
+                          in context.stats.items()
+                          if isinstance(value, int)},
+            })
+        snapshot = perf.build_snapshot(
+            suite={"names": sorted(_CONTEXTS),
+                   "producer": "benchmarks/conftest.py"},
+            circuits=circuits,
+            cache={key: value for key, value in telemetry.items()
+                   if isinstance(value, int)},
+            total_seconds=sum(entry["seconds"] for entry in circuits))
+        perf.write_snapshot(snapshot, out)
+        terminalreporter.write_line(f"bench snapshot written to {out}")
 
 
 def selected_names():
@@ -73,12 +98,21 @@ def circuit_context(name: str) -> SynthesisContext:
 
 
 def circuit_sg(name: str):
-    return circuit_context(name).state_graph()
+    context = circuit_context(name)
+    start = time.perf_counter()
+    sg = context.state_graph()
+    _record_seconds(name, "reach", time.perf_counter() - start)
+    return sg
 
 
 def mapping_result(name: str, literals: int,
                    mode: str = "global") -> MappingResult:
-    return circuit_context(name).mapping(literals, mode)
+    context = circuit_context(name)
+    start = time.perf_counter()
+    result = context.mapping(literals, mode)
+    _record_seconds(name, f"map[{literals},{mode}]",
+                    time.perf_counter() - start)
+    return result
 
 
 @pytest.fixture(scope="session")

@@ -15,4 +15,21 @@ Use :func:`~repro.bench_suite.circuits.benchmark` /
 from repro.bench_suite.circuits import (benchmark, benchmark_names,
                                         load_all)
 
-__all__ = ["benchmark", "benchmark_names", "load_all"]
+# Circuits that exercise every regime (small classics, mid-size
+# controllers, high-fanin joins, one of the hard input-dominated ones)
+# while keeping a default battery under a few minutes.  Shared by the
+# benchmark harness conftest and ``si-mapper bench --subset``.
+SUBSET = (
+    "chu133", "converta", "dff", "half", "hazard", "nowick",
+    "rcv-setup", "vbe5b", "vbe6a", "mp-forward-pkt", "alloc-outbound",
+    "seq_mix", "trimos-send", "mr1", "wrdatab", "vbe10b",
+)
+
+
+def subset_names():
+    """The representative benchmark subset, as a fresh list."""
+    return list(SUBSET)
+
+
+__all__ = ["benchmark", "benchmark_names", "load_all", "SUBSET",
+           "subset_names"]

@@ -34,7 +34,12 @@ class Bdd:
         # node id -> (level, low, high); ids 0/1 reserved for terminals.
         self._nodes: List[Tuple[int, Node, Node]] = [(-1, 0, 0), (-1, 1, 1)]
         self._unique: Dict[Tuple[int, Node, Node], Node] = {}
+        # Computed table of *normalized* ITE triples (equal-argument
+        # collapses applied, AND/OR operands in canonical id order), so
+        # equivalent calls share one entry.
         self._ite_cache: Dict[Tuple[Node, Node, Node], Node] = {}
+        self._cube_cache: Dict[Cube, Node] = {}
+        self._sop_cache: Dict[SopCover, Node] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -66,27 +71,51 @@ class Bdd:
         return self._mk(self._level[name], Bdd.TRUE, Bdd.FALSE)
 
     def cube(self, cube: Cube) -> Node:
-        """BDD for a product term."""
-        result = Bdd.TRUE
-        for name, value in sorted(cube.literals.items(),
-                                  key=lambda item: -self._level[item[0]]):
-            literal = self.var(name) if value else self.nvar(name)
-            result = self.apply_and(literal, result)
-        return result
+        """BDD for a product term.
+
+        Built bottom-up with direct ``_mk`` calls (a product is a
+        single path to TRUE — no ITE recursion needed) and memoized:
+        verification re-derives the same terms for every cover it
+        checks.
+        """
+        cached = self._cube_cache.get(cube)
+        if cached is None:
+            cached = Bdd.TRUE
+            for name, value in sorted(cube.literals.items(),
+                                      key=lambda item: -self._level[item[0]]):
+                level = self._level[name]
+                cached = (self._mk(level, Bdd.FALSE, cached) if value
+                          else self._mk(level, cached, Bdd.FALSE))
+            self._cube_cache[cube] = cached
+        return cached
 
     def sop(self, cover: SopCover) -> Node:
-        """BDD for a sum-of-products cover."""
-        result = Bdd.FALSE
-        for term in cover:
-            result = self.apply_or(result, self.cube(term))
-        return result
+        """BDD for a sum-of-products cover (memoized per cover)."""
+        cached = self._sop_cache.get(cover)
+        if cached is None:
+            cached = Bdd.FALSE
+            for term in cover:
+                cached = self.apply_or(cached, self.cube(term))
+            self._sop_cache[cover] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Core operations
     # ------------------------------------------------------------------
 
     def ite(self, f: Node, g: Node, h: Node) -> Node:
-        """If-then-else — the universal ROBDD combinator."""
+        """If-then-else — the universal ROBDD combinator.
+
+        Triples are normalized before the computed-table lookup:
+        ``ite(f, f, h) = ite(f, 1, h)``, ``ite(f, g, f) = ite(f, g,
+        0)``, and the commutative forms AND (``h = 0``) / OR (``g =
+        1``) put their operands in canonical node-id order — so e.g.
+        ``a∧b`` and ``b∧a`` hit one cache entry.
+        """
+        if g == f:
+            g = Bdd.TRUE
+        if h == f:
+            h = Bdd.FALSE
         if f == Bdd.TRUE:
             return g
         if f == Bdd.FALSE:
@@ -95,6 +124,10 @@ class Bdd:
             return g
         if g == Bdd.TRUE and h == Bdd.FALSE:
             return f
+        if h == Bdd.FALSE and g < f:        # AND is commutative
+            f, g = g, f
+        elif g == Bdd.TRUE and h < f:       # OR is commutative
+            f, h = h, f
         key = (f, g, h)
         cached = self._ite_cache.get(key)
         if cached is not None:

@@ -21,7 +21,7 @@ from repro.errors import ParseError
 class Cube:
     """An immutable product term over named signals."""
 
-    __slots__ = ("_literals", "_hash")
+    __slots__ = ("_literals", "_map", "_hash")
 
     def __init__(self, literals: Optional[Mapping[str, int]] = None):
         items = {}
@@ -32,6 +32,9 @@ class Cube:
             items[name] = value
         self._literals: Tuple[Tuple[str, int], ...] = tuple(
             sorted(items.items()))
+        # Dict twin of the sorted tuple: O(1) polarity lookups under
+        # cofactor/contains/consensus.  Read-only — never handed out.
+        self._map: Dict[str, int] = dict(self._literals)
         self._hash = hash(self._literals)
 
     # ------------------------------------------------------------------
@@ -98,10 +101,7 @@ class Cube:
 
     def polarity(self, name: str) -> Optional[int]:
         """Value required for ``name`` (0/1), or None if unconstrained."""
-        for key, value in self._literals:
-            if key == name:
-                return value
-        return None
+        return self._map.get(name)
 
     def is_one(self) -> bool:
         """True for the universal cube."""
@@ -117,7 +117,7 @@ class Cube:
 
     def contains(self, other: "Cube") -> bool:
         """True iff every point of ``other`` is covered by ``self``."""
-        theirs = dict(other._literals)
+        theirs = other._map
         for name, value in self._literals:
             if theirs.get(name) != value:
                 return False
@@ -134,13 +134,13 @@ class Cube:
 
     def distance(self, other: "Cube") -> int:
         """Number of signals on which the two cubes conflict."""
-        theirs = dict(other._literals)
+        theirs = other._map
         return sum(1 for name, value in self._literals
                    if name in theirs and theirs[name] != value)
 
     def supercube(self, other: "Cube") -> "Cube":
         """Smallest cube containing both operands."""
-        theirs = dict(other._literals)
+        theirs = other._map
         merged = {name: value for name, value in self._literals
                   if theirs.get(name) == value}
         return Cube(merged)
@@ -201,6 +201,11 @@ class Cube:
     # ------------------------------------------------------------------
     # Dunder plumbing
     # ------------------------------------------------------------------
+
+    def __reduce__(self):
+        # Rebuild through __init__ so pickles stay independent of the
+        # slot layout (cubes live inside on-disk artifact stores).
+        return (Cube, (self._map,))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Cube):

@@ -57,15 +57,22 @@ def _vector_int_compute(vector: Vector, support: Tuple[str, ...]) -> int:
     # thousands of minimize() calls of one mapping run; the memo turns
     # the dominant cost of cover synthesis into a dict lookup.
     bits = 0
-    for index, name in enumerate(support):
+    for name, index in _position_map(support).items():
         if vector[name]:
             bits |= 1 << index
     return bits
 
 
+@lru_cache(maxsize=4096)
+def _position_map(support: Tuple[str, ...]) -> Dict[str, int]:
+    """The ``{name: bit position}`` map of one support, cached — shared
+    by vector and cube packing so it is built once per support."""
+    return {name: i for i, name in enumerate(support)}
+
+
 def _cube_int(cube: Cube, support: Sequence[str]) -> IntCube:
     mask = value = 0
-    position = {name: i for i, name in enumerate(support)}
+    position = _position_map(tuple(support))
     for name, polarity in cube:
         bit = 1 << position[name]
         mask |= bit
@@ -106,26 +113,41 @@ def _count_covered(cube: IntCube, vectors: "np.ndarray") -> int:
 def _expand(cube: IntCube, off: "np.ndarray", prefer: "np.ndarray",
             width: int) -> IntCube:
     """EXPAND: greedily drop literals while staying off the OFF-set,
-    favouring drops that absorb the most ON-vectors."""
+    favouring drops that absorb the most ON-vectors.
+
+    One broadcast per greedy step: all candidate single-literal drops
+    are tested against the whole OFF-set (and scored against the whole
+    ON-set) in two ``(vectors, candidates)`` matrix compares, instead
+    of per-candidate numpy calls.  Picks the highest gain, ties broken
+    towards the highest bit index — the same ``(gain, index)`` ordering
+    as the scalar loop it replaces.
+    """
     mask, value = cube
-    improved = True
-    while improved:
-        improved = False
-        best: Optional[Tuple[int, int, IntCube]] = None
-        for index in range(width):
-            bit = 1 << index
-            if not mask & bit:
-                continue
-            wider = (mask & ~bit, value & ~bit)
-            if _hits(wider, off):
-                continue
-            gain = _count_covered(wider, prefer) if len(prefer) else 0
-            key = (gain, index)
-            if best is None or key > best[:2]:
-                best = (gain, index, wider)
-        if best is not None:
-            mask, value = best[2]
-            improved = True
+    positions = np.arange(width, dtype=np.int64)
+    bits = np.left_shift(np.int64(1), positions)
+    n_off, n_prefer = len(off), len(prefer)
+    while True:
+        candidates = np.flatnonzero(mask & bits)
+        if len(candidates) == 0:
+            break
+        wider_masks = mask & ~bits[candidates]
+        wider_values = value & ~bits[candidates]
+        if n_off:
+            allowed = np.flatnonzero(~(
+                (off[:, None] & wider_masks[None, :])
+                == wider_values[None, :]).any(axis=0))
+        else:
+            allowed = np.arange(len(candidates))
+        if len(allowed) == 0:
+            break
+        if n_prefer:
+            gains = ((prefer[:, None] & wider_masks[None, allowed])
+                     == wider_values[None, allowed]).sum(axis=0)
+            pick = allowed[np.flatnonzero(gains == gains.max())[-1]]
+        else:
+            pick = allowed[-1]
+        mask = int(wider_masks[pick])
+        value = int(wider_values[pick])
     return mask, value
 
 
@@ -138,42 +160,65 @@ def _contains(outer: IntCube, inner: IntCube) -> bool:
     return (i_value & o_mask) == o_value
 
 
+def _coverage_matrix(cubes: Sequence[IntCube],
+                     vectors: "np.ndarray") -> "np.ndarray":
+    """Boolean ``(len(vectors), len(cubes))`` matrix of cube-covers-
+    vector, built with one broadcast AND + compare."""
+    masks = np.fromiter((c[0] for c in cubes), dtype=np.int64,
+                        count=len(cubes))
+    values = np.fromiter((c[1] for c in cubes), dtype=np.int64,
+                         count=len(cubes))
+    return (vectors[:, None] & masks[None, :]) == values[None, :]
+
+
 def _irredundant(cubes: List[IntCube], on: Sequence[int]) -> List[IntCube]:
-    """Greedy minimum-ish subset of ``cubes`` still covering ``on``."""
-    owners: Dict[int, List[IntCube]] = {
-        v: [c for c in cubes if (v & c[0]) == c[1]] for v in on}
-    for vector, who in owners.items():
-        if not who:
-            raise CoverError("irredundant step cannot make progress; "
-                             "ON-set vector not covered by any implicant")
-    chosen: List[IntCube] = []
-    remaining: Set[int] = set(on)
+    """Greedy minimum-ish subset of ``cubes`` still covering ``on``.
+
+    Works on the coverage matrix: remaining ON-vectors are a boolean
+    row mask and per-cube cover counts are column sums, so each greedy
+    step is one matrix reduction.  Pick order matches the scalar
+    version exactly: essentials in ON order first, then first-maximal
+    ``(covered count, -literal count)`` over the pool, then a prune of
+    cubes made redundant by later picks.
+    """
+    if not on:
+        return []
+    on_array = np.fromiter(on, dtype=np.int64, count=len(on))
+    cov = _coverage_matrix(cubes, on_array) if cubes else np.zeros(
+        (len(on), 0), dtype=bool)
+    if not cov.any(axis=1).all():
+        raise CoverError("irredundant step cannot make progress; "
+                         "ON-set vector not covered by any implicant")
+    chosen: List[int] = []
     # Essential cubes first.
-    for vector, who in owners.items():
-        if len(who) == 1 and who[0] not in chosen:
-            chosen.append(who[0])
-    for cube in chosen:
-        remaining -= set(_covered(cube, remaining))
-    pool = [c for c in cubes if c not in chosen]
-    while remaining:
-        remaining_list = sorted(remaining)
-        best = max(pool or chosen,
-                   key=lambda c: (len(_covered(c, remaining_list)),
-                                  -bin(c[0]).count("1")))
-        gained = set(_covered(best, remaining))
-        if not gained:
+    counts_per_vector = cov.sum(axis=1)
+    for row in np.flatnonzero(counts_per_vector == 1):
+        owner = int(cov[row].argmax())
+        if owner not in chosen:
+            chosen.append(owner)
+    remaining = ~cov[:, chosen].any(axis=1) if chosen else np.ones(
+        len(on), dtype=bool)
+    pool = [i for i in range(len(cubes)) if i not in chosen]
+    literal_counts = [bin(c[0]).count("1") for c in cubes]
+    while remaining.any():
+        ranked = pool or chosen
+        covered = cov[remaining][:, ranked].sum(axis=0)
+        best = ranked[max(range(len(ranked)),
+                          key=lambda p: (covered[p],
+                                         -literal_counts[ranked[p]]))]
+        gained = remaining & cov[:, best]
+        if not gained.any():
             raise CoverError("irredundant step cannot make progress")
         if best not in chosen:
             chosen.append(best)
-        remaining -= gained
+        remaining &= ~cov[:, best]
     # Drop cubes made redundant by later picks.
     pruned = list(chosen)
-    for cube in list(chosen):
-        trial = [c for c in pruned if c != cube]
-        if trial and all(any((v & c[0]) == c[1] for c in trial)
-                         for v in on):
+    for index in list(chosen):
+        trial = [i for i in pruned if i != index]
+        if trial and cov[:, trial].any(axis=1).all():
             pruned = trial
-    return pruned
+    return [cubes[i] for i in pruned]
 
 
 def _reduce(cube: IntCube, owned: Sequence[int], width: int) -> IntCube:
@@ -223,8 +268,13 @@ def minimize(on: Iterable[Vector], off: Iterable[Vector],
     """
     support = tuple(support)
     width = len(support)
-    on_ints = sorted({_vector_int(v, support) for v in on})
-    off_ints = sorted({_vector_int(v, support) for v in off})
+    # Callers on the packed path (repro.sg.encoding.next_state_ints,
+    # synthesis/cover.py) pass vectors already packed in support bit
+    # order; mapping inputs are packed here.
+    on_ints = sorted({v if isinstance(v, int) else _vector_int(v, support)
+                      for v in on})
+    off_ints = sorted({v if isinstance(v, int) else _vector_int(v, support)
+                       for v in off})
     overlap = set(on_ints) & set(off_ints)
     if overlap:
         bits = format(next(iter(overlap)), f"0{width}b")[::-1]
@@ -259,27 +309,30 @@ def minimize(on: Iterable[Vector], off: Iterable[Vector],
                 kept.append(cube)
         cubes = _irredundant(kept, on_ints)
         if round_index + 1 < passes:
-            reduced = []
-            for cube in cubes:
-                others = [c for c in cubes if c != cube]
-                owned = [v for v in _covered(cube, on_ints)
-                         if not any((v & c[0]) == c[1] for c in others)]
-                reduced.append(_reduce(cube, owned, width))
-            cubes = reduced
+            # A vector is "owned" by a cube iff that cube is the only
+            # one covering it: rows of the coverage matrix with exactly
+            # one True.  (_irredundant returns distinct cubes, so
+            # "the others" is a column complement.)
+            cov = _coverage_matrix(cubes, on_array)
+            owned_rows = cov.sum(axis=1) == 1
+            cubes = [
+                _reduce(cube,
+                        [int(v) for v in on_array[owned_rows & cov[:, k]]],
+                        width)
+                for k, cube in enumerate(cubes)]
 
     result = SopCover(_cube_back(c, support) for c in cubes)
-    _verify(cubes, on_ints, off_ints)
+    _verify(cubes, on_array, off_array)
     return result
 
 
-def _verify(cubes: Sequence[IntCube], on: Sequence[int],
-            off: Sequence[int]) -> None:
-    for vector in on:
-        if not any((vector & mask) == value for mask, value in cubes):
-            raise CoverError("minimized cover misses an ON vector")
-    for vector in off:
-        if any((vector & mask) == value for mask, value in cubes):
-            raise CoverError("minimized cover hits an OFF vector")
+def _verify(cubes: Sequence[IntCube], on: "np.ndarray",
+            off: "np.ndarray") -> None:
+    cov_on = _coverage_matrix(cubes, on)
+    if not cov_on.any(axis=1).all():
+        raise CoverError("minimized cover misses an ON vector")
+    if _coverage_matrix(cubes, off).any():
+        raise CoverError("minimized cover hits an OFF vector")
 
 
 def expand_cube(cube: Cube, off: Sequence[Vector],

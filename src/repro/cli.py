@@ -224,6 +224,55 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if len(rows) == len(subset) else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Measure the battery and write a BENCH_<n>.json snapshot."""
+    from repro import perf
+    from repro.bench_suite import subset_names
+    if args.names and args.subset:
+        print("error: give either explicit names or --subset, not "
+              "both", file=sys.stderr)
+        return 2
+    names = list(args.names) if args.names else subset_names()
+    if args.limit is not None:
+        names = names[:args.limit]
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = perf.load_snapshot(args.baseline)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: cannot load baseline {args.baseline}: "
+                  f"{error}", file=sys.stderr)
+            return 2
+
+    snapshot = perf.run_bench(
+        names, libraries=tuple(args.literals),
+        with_siegel=not args.no_siegel, jobs=args.jobs,
+        progress=True, cache_dir=_cache_dir_of(args),
+        cache_url=_cache_url_of(args))
+    out = args.out or perf.next_bench_path(".")
+    perf.write_snapshot(snapshot, out)
+
+    comparison = None
+    if baseline is not None:
+        comparison = perf.compare(baseline, snapshot)
+    print(perf.format_summary(snapshot, comparison))
+    print(f"snapshot written to {out}")
+    if any(not entry["ok"] for entry in snapshot["circuits"]):
+        return 1
+    if comparison is not None and args.max_regression is not None:
+        if not comparison["common"]:
+            print("error: no common ok circuits with the baseline",
+                  file=sys.stderr)
+            return 1
+        if comparison["ratio"] > 1.0 + args.max_regression:
+            print(f"error: battery regressed {comparison['ratio']:.3f}x"
+                  f" over baseline (allowed "
+                  f"{1.0 + args.max_regression:.3f}x)", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_csc(args: argparse.Namespace) -> int:
     """Solve CSC for one circuit and print the insertion steps."""
     from repro.mapping.csc import csc_conflicts
@@ -431,6 +480,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--verbose", action="store_true",
                          help="log each request to stderr")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_bench = sub.add_parser("bench",
+                             help="measure the battery and record a "
+                                  "BENCH_<n>.json perf snapshot",
+                             parents=[caching])
+    p_bench.add_argument("names", nargs="*",
+                         help="benchmark names (default: the "
+                              "representative subset)")
+    p_bench.add_argument("--subset", action="store_true",
+                         help="run the representative 16-circuit "
+                              "subset (the default when no names are "
+                              "given)")
+    p_bench.add_argument("--limit", type=int, default=None,
+                         metavar="N",
+                         help="only the first N circuits of the "
+                              "selection (CI smoke runs)")
+    p_bench.add_argument("-k", "--literals", type=int, nargs="+",
+                         default=[2, 3, 4])
+    p_bench.add_argument("--no-siegel", action="store_true",
+                         help="skip the local-ack baseline column")
+    p_bench.add_argument("-j", "--jobs", type=int, default=1,
+                         help="parallel worker processes (default: 1 "
+                              "— serial timings are the trajectory)")
+    p_bench.add_argument("--out", default=None, metavar="FILE",
+                         help="snapshot destination (default: next "
+                              "free BENCH_<n>.json in the current "
+                              "directory)")
+    p_bench.add_argument("--baseline", default=None, metavar="FILE",
+                         help="compare against a committed snapshot "
+                              "(over the common ok circuits)")
+    p_bench.add_argument("--max-regression", type=float, default=0.25,
+                         metavar="FRAC",
+                         help="with --baseline: fail when total "
+                              "seconds regress by more than FRAC "
+                              "(default 0.25)")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_csc = sub.add_parser("csc",
                            help="solve Complete State Coding for an "

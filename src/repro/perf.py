@@ -1,0 +1,271 @@
+"""Schema-versioned performance snapshots — the ``BENCH_<n>.json``
+trajectory.
+
+A *snapshot* records one measured run of the benchmark battery:
+per-circuit wall-clock, per-stage timings, cache telemetry and a host
+fingerprint, under a versioned schema so later tooling can read the
+whole trajectory.  Producers:
+
+* ``si-mapper bench`` (:func:`run_bench`) — runs the Table-1 battery
+  through the real pipeline and snapshots its :class:`~repro.pipeline.
+  run.RunRecord` timings;
+* the benchmark harness conftest (``SI_MAPPER_BENCH_OUT=FILE pytest
+  benchmarks/``) — snapshots the harness's own artifact timings.
+
+Snapshots committed at the repo root (``BENCH_006.json``, ...) form
+the recorded perf trajectory; :func:`compare` reduces two snapshots to
+a regression ratio over their common circuits, which is what the CI
+bench smoke step gates on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+#: current snapshot schema identifier
+SCHEMA = "si-mapper-bench/1"
+
+_REQUIRED_KEYS = ("schema", "created", "host", "suite",
+                  "total_seconds", "circuits", "cache")
+_REQUIRED_CIRCUIT_KEYS = ("name", "ok", "seconds", "stages", "stats")
+
+
+def host_fingerprint() -> Dict[str, Any]:
+    """Where a snapshot was measured (timings are machine-relative)."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def _utc_now() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def build_snapshot(suite: Mapping[str, Any],
+                   circuits: Sequence[Mapping[str, Any]],
+                   cache: Mapping[str, int],
+                   total_seconds: float) -> Dict[str, Any]:
+    """Assemble and validate a snapshot from its measured parts."""
+    stage_totals: Dict[str, float] = {}
+    for entry in circuits:
+        for stage, seconds in entry.get("stages", {}).items():
+            stage_totals[stage] = stage_totals.get(stage, 0.0) + seconds
+    snapshot = {
+        "schema": SCHEMA,
+        "created": _utc_now(),
+        "host": host_fingerprint(),
+        "suite": dict(suite),
+        "total_seconds": total_seconds,
+        "stage_totals": stage_totals,
+        "cache": dict(cache),
+        "circuits": [dict(entry) for entry in circuits],
+    }
+    validate_snapshot(snapshot)
+    return snapshot
+
+
+def run_bench(names: Sequence[str],
+              libraries: Sequence[int] = (2, 3, 4),
+              with_siegel: bool = True,
+              jobs: Optional[int] = 1,
+              progress: bool = False,
+              cache_dir: Optional[str] = None,
+              cache_url: Optional[str] = None) -> Dict[str, Any]:
+    """Run the Table-1 battery over ``names`` and snapshot it.
+
+    Serial (``jobs=1``) by default so the per-circuit wall-clock is a
+    meaningful trajectory point rather than a scheduling artifact.
+    """
+    from repro.report import run_battery
+    start = time.perf_counter()
+    items = run_battery(names, libraries=libraries,
+                        with_siegel=with_siegel, progress=progress,
+                        jobs=jobs, cache_dir=cache_dir,
+                        cache_url=cache_url)
+    total = time.perf_counter() - start
+
+    circuits: List[Dict[str, Any]] = []
+    cache_totals: Dict[str, int] = {}
+    for item in items:
+        entry: Dict[str, Any] = {
+            "name": item.name,
+            "ok": item.ok,
+            "seconds": item.seconds,
+            "stages": {},
+            "stats": {},
+        }
+        if item.error is not None:
+            entry["error"] = item.error
+        if item.record is not None:
+            stages: Dict[str, float] = {}
+            for timing in item.record.timings:
+                stages[timing.stage] = (stages.get(timing.stage, 0.0)
+                                        + timing.seconds)
+            entry["stages"] = stages
+            entry["stats"] = {key: value for key, value
+                              in item.record.stats.items()
+                              if isinstance(value, int)}
+            for key, value in entry["stats"].items():
+                cache_totals[key] = cache_totals.get(key, 0) + value
+        circuits.append(entry)
+
+    suite = {
+        "names": list(names),
+        "libraries": [int(k) for k in libraries],
+        "with_siegel": bool(with_siegel),
+        "jobs": int(jobs or 0),
+    }
+    return build_snapshot(suite, circuits, cache_totals, total)
+
+
+# ----------------------------------------------------------------------
+# Validation / IO
+# ----------------------------------------------------------------------
+
+
+def validate_snapshot(data: Any) -> None:
+    """Raise :class:`ValueError` unless ``data`` is a well-formed
+    snapshot of the current schema."""
+    if not isinstance(data, dict):
+        raise ValueError("snapshot must be a JSON object")
+    if data.get("schema") != SCHEMA:
+        raise ValueError(f"unknown snapshot schema {data.get('schema')!r}"
+                         f" (expected {SCHEMA!r})")
+    missing = [key for key in _REQUIRED_KEYS if key not in data]
+    if missing:
+        raise ValueError(f"snapshot is missing keys: {missing}")
+    if not isinstance(data["created"], str):
+        raise ValueError("'created' must be an ISO timestamp string")
+    host = data["host"]
+    if not isinstance(host, dict) or not all(
+            key in host for key in ("platform", "python", "cpu_count")):
+        raise ValueError("'host' must carry platform/python/cpu_count")
+    suite = data["suite"]
+    if (not isinstance(suite, dict)
+            or not isinstance(suite.get("names"), list)
+            or not suite["names"]
+            or not all(isinstance(n, str) for n in suite["names"])):
+        raise ValueError("'suite.names' must be a non-empty name list")
+    if not isinstance(data["total_seconds"], (int, float)) \
+            or data["total_seconds"] < 0:
+        raise ValueError("'total_seconds' must be a non-negative number")
+    if not isinstance(data["cache"], dict) or not all(
+            isinstance(v, int) for v in data["cache"].values()):
+        raise ValueError("'cache' must map counter names to ints")
+    circuits = data["circuits"]
+    if not isinstance(circuits, list):
+        raise ValueError("'circuits' must be a list")
+    for entry in circuits:
+        if not isinstance(entry, dict):
+            raise ValueError("each circuit entry must be an object")
+        missing = [key for key in _REQUIRED_CIRCUIT_KEYS
+                   if key not in entry]
+        if missing:
+            raise ValueError(
+                f"circuit entry {entry.get('name')!r} is missing "
+                f"keys: {missing}")
+        if not isinstance(entry["name"], str):
+            raise ValueError("circuit 'name' must be a string")
+        if not isinstance(entry["ok"], bool):
+            raise ValueError("circuit 'ok' must be a boolean")
+        if not isinstance(entry["seconds"], (int, float)) \
+                or entry["seconds"] < 0:
+            raise ValueError("circuit 'seconds' must be non-negative")
+        stages = entry["stages"]
+        if not isinstance(stages, dict) or not all(
+                isinstance(v, (int, float)) and v >= 0
+                for v in stages.values()):
+            raise ValueError("circuit 'stages' must map stage names to "
+                             "non-negative seconds")
+        if not isinstance(entry["stats"], dict):
+            raise ValueError("circuit 'stats' must be an object")
+
+
+def write_snapshot(data: Mapping[str, Any], path: str) -> None:
+    validate_snapshot(dict(data))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    validate_snapshot(data)
+    return data
+
+
+def next_bench_path(directory: str = ".") -> str:
+    """The next free ``BENCH_<n>.json`` path under ``directory``."""
+    highest = 0
+    for name in os.listdir(directory or "."):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", name)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return os.path.join(directory or ".", f"BENCH_{highest + 1:03d}.json")
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+
+
+def compare(baseline: Mapping[str, Any],
+            current: Mapping[str, Any]) -> Dict[str, Any]:
+    """Reduce two snapshots to a regression ratio.
+
+    Only circuits present and ``ok`` in *both* snapshots participate,
+    so a partial run can still be gated against a full committed
+    baseline.  ``ratio`` > 1 means the current run is slower.
+    """
+    base_seconds = {entry["name"]: entry["seconds"]
+                    for entry in baseline["circuits"] if entry["ok"]}
+    current_seconds = {entry["name"]: entry["seconds"]
+                       for entry in current["circuits"] if entry["ok"]}
+    common = [name for name in current_seconds if name in base_seconds]
+    base_total = sum(base_seconds[name] for name in common)
+    new_total = sum(current_seconds[name] for name in common)
+    return {
+        "common": common,
+        "baseline_seconds": base_total,
+        "current_seconds": new_total,
+        "ratio": (new_total / base_total) if base_total > 0 else 1.0,
+        "per_circuit": {
+            name: {"baseline": base_seconds[name],
+                   "current": current_seconds[name]}
+            for name in common},
+    }
+
+
+def format_summary(snapshot: Mapping[str, Any],
+                   comparison: Optional[Mapping[str, Any]] = None) -> str:
+    """Human-readable rendering of a snapshot (and optional baseline
+    comparison) for the CLI."""
+    lines = [f"bench: {len(snapshot['circuits'])} circuits, "
+             f"{snapshot['total_seconds']:.3f} s total "
+             f"(schema {snapshot['schema']})"]
+    for entry in snapshot["circuits"]:
+        status = "ok" if entry["ok"] else "ERROR"
+        lines.append(f"  {entry['name']:>16}  {entry['seconds']:8.3f} s"
+                     f"  {status}")
+    stage_totals = snapshot.get("stage_totals", {})
+    if stage_totals:
+        stages = ", ".join(f"{stage}={seconds:.3f}s" for stage, seconds
+                           in sorted(stage_totals.items(),
+                                     key=lambda item: -item[1]))
+        lines.append(f"stage totals: {stages}")
+    if comparison is not None:
+        lines.append(
+            f"vs baseline: {comparison['current_seconds']:.3f} s over "
+            f"{len(comparison['common'])} common circuits "
+            f"(baseline {comparison['baseline_seconds']:.3f} s, "
+            f"ratio {comparison['ratio']:.3f})")
+    return "\n".join(lines)

@@ -92,6 +92,7 @@ class StateGraph:
         self._initial: Optional[State] = None
         self._diamond_cache: Optional[List[Diamond]] = None
         self._order_cache: Optional[Dict[State, int]] = None
+        self._encoding_cache = None  # repro.sg.encoding.Encoding
 
     # ------------------------------------------------------------------
     # Signals
@@ -154,6 +155,7 @@ class StateGraph:
         self._pred[state] = []
         self._diamond_cache = None
         self._order_cache = None
+        self._encoding_cache = None
         return state
 
     def add_arc(self, source: State, event: Event, target: State) -> None:
@@ -169,6 +171,7 @@ class StateGraph:
         self._pred[target].append((event, source))
         self._diamond_cache = None
         self._order_cache = None
+        self._encoding_cache = None
 
     def code(self, state: State) -> FrozenVector:
         try:
@@ -204,6 +207,19 @@ class StateGraph:
         """True iff some transition of ``signal`` is enabled at state."""
         return any(event_signal(event) == signal
                    for event, _ in self._succ[state])
+
+    def encoding(self):
+        """The packed-integer view of this graph (cached).
+
+        Returns a :class:`repro.sg.encoding.Encoding` — stable
+        signal→bit and state→index maps plus packed codes, adjacency
+        and enabledness bitsets.  Invalidated by any mutation; shared
+        with content-identical :meth:`copy` clones (the encoding holds
+        no reference back to the graph)."""
+        if self._encoding_cache is None:
+            from repro.sg.encoding import Encoding
+            self._encoding_cache = Encoding(self)
+        return self._encoding_cache
 
     # ------------------------------------------------------------------
     # Graph algorithms
@@ -262,6 +278,7 @@ class StateGraph:
             del self._codes[state]
         self._diamond_cache = None
         self._order_cache = None
+        self._encoding_cache = None
         return len(dropped)
 
     def connected_components(self, states: Iterable[State]) -> List[Set[State]]:
@@ -335,10 +352,12 @@ class StateGraph:
                 clone.add_arc(state, event, target)
         if self._initial is not None:
             clone.set_initial(self._initial)
-        # The clone is content-identical, so the BFS numbering carries
-        # over; a later mutation of either graph only drops its own
-        # reference (the dict itself is never mutated in place).
+        # The clone is content-identical, so the BFS numbering and the
+        # packed encoding carry over; a later mutation of either graph
+        # only drops its own reference (neither cache is ever mutated
+        # in place).
         clone._order_cache = self._order_cache
+        clone._encoding_cache = self._encoding_cache
         return clone
 
     def relabel(self) -> "StateGraph":

@@ -14,6 +14,13 @@
 * *trigger events* of ``ER_j`` — labels of arcs entering the region
   from outside; trigger *signals* are necessarily inputs of any gate
   implementing ``a``.
+
+All region queries run on the graph's packed
+:class:`~repro.sg.encoding.Encoding`: state sets are bitsets over
+state indices, so membership, intersection and the forward closures
+behind SR/QR are bulk bitwise operations.  Public signatures keep the
+set-of-states vocabulary; the ``*_bits`` twins expose the bitset layer
+to the synthesis hot paths.
 """
 
 from __future__ import annotations
@@ -50,12 +57,19 @@ def excitation_regions(sg: StateGraph, event: Event) -> List[ExcitationRegion]:
     Regions are numbered in order of first reachability (BFS from the
     initial state) so that indices are stable across runs.
     """
-    excited = {s for s in sg.states
-               if any(e == event for e, _ in sg.successors(s))}
-    components = sg.connected_components(excited)
-    ordered = _order_components(sg, components)
-    return [ExcitationRegion(event, i + 1, frozenset(component))
-            for i, component in enumerate(ordered)]
+    enc = sg.encoding()
+    excited = enc.event_bits(event)
+    if not excited:
+        return []
+    components = enc.components(excited)
+    if len(components) > 1:
+        order = sg.bfs_order()
+        fallback = len(order)
+        components.sort(key=lambda bits: min(
+            order.get(s, fallback) for s in enc.states_of(bits)))
+    return [ExcitationRegion(event, i + 1,
+                             frozenset(enc.states_of(component)))
+            for i, component in enumerate(components)]
 
 
 def all_excitation_regions(sg: StateGraph,
@@ -70,18 +84,16 @@ def all_excitation_regions(sg: StateGraph,
     return regions
 
 
-def _order_components(sg: StateGraph,
-                      components: List[Set[State]]) -> List[Set[State]]:
-    order = sg.bfs_order()
-    return sorted(components,
-                  key=lambda c: min(order.get(s, len(order)) for s in c))
+def switching_region_bits(sg: StateGraph, region: ExcitationRegion) -> int:
+    """Bitset of states entered immediately after the event fires."""
+    enc = sg.encoding()
+    return enc.event_targets(region.event, enc.bitset(region.states))
 
 
 def switching_region(sg: StateGraph, region: ExcitationRegion) -> Set[State]:
     """States entered immediately after the event fires from the region."""
-    return {target for state in region.states
-            for event, target in sg.successors(state)
-            if event == region.event}
+    enc = sg.encoding()
+    return set(enc.states_of(switching_region_bits(sg, region)))
 
 
 def quiescent_region(sg: StateGraph, region: ExcitationRegion,
@@ -95,35 +107,39 @@ def quiescent_region(sg: StateGraph, region: ExcitationRegion,
     expansion: a state belongs to the QR only while the signal is
     stable.
     """
-    mine = _stable_closure(sg, region)
+    enc = sg.encoding()
+    mine = stable_closure_bits(sg, region)
     for sibling in siblings:
         if sibling.index == region.index and sibling.event == region.event:
             continue
         if sibling.event != region.event:
             continue
-        theirs = _stable_closure(sg, sibling)
-        mine -= theirs
-    return mine
+        mine &= ~stable_closure_bits(sg, sibling)
+    return set(enc.states_of(mine))
+
+
+def stable_closure_bits(sg: StateGraph, region: ExcitationRegion) -> int:
+    """Bitset of the unrestricted quiescent region of ``region``:
+    forward closure from its switching region through signal-stable
+    states.  Cached on the graph's encoding — region grouping and
+    cover synthesis both walk the same closures repeatedly."""
+    enc = sg.encoding()
+    region_bits = enc.bitset(region.states)
+    key = (region.event, region_bits)
+    cached = enc._closure_cache.get(key)
+    if cached is None:
+        start = enc.event_targets(region.event, region_bits)
+        stable = enc.full_mask & ~enc.excited_bits(region.signal)
+        cached = enc.closure_forward(start, stable)
+        enc._closure_cache[key] = cached
+    return cached
 
 
 def _stable_closure(sg: StateGraph, region: ExcitationRegion) -> Set[State]:
     """Forward closure from the switching region through signal-stable
     states (the unrestricted quiescent region)."""
-    signal = region.signal
-    start = switching_region(sg, region)
-    closure: Set[State] = set()
-    frontier = [s for s in start if not sg.is_excited(s, signal)]
-    closure.update(frontier)
-    while frontier:
-        state = frontier.pop()
-        for _, target in sg.successors(state):
-            if target in closure:
-                continue
-            if sg.is_excited(target, signal):
-                continue
-            closure.add(target)
-            frontier.append(target)
-    return closure
+    enc = sg.encoding()
+    return set(enc.states_of(stable_closure_bits(sg, region)))
 
 
 def quiescent_regions_by_event(sg: StateGraph,
@@ -150,14 +166,19 @@ def event_cones(sg: StateGraph, event: Event,
     """
     if regions is None:
         regions = excitation_regions(sg, event)
+    enc = sg.encoding()
     cones: List[Tuple[str, FrozenSet[State]]] = []
     for region in regions:
-        cone = switching_region(sg, region) | quiescent_region(
-            sg, region, regions)
+        restricted = stable_closure_bits(sg, region)
+        for sibling in regions:
+            if sibling.index == region.index:
+                continue
+            restricted &= ~stable_closure_bits(sg, sibling)
+        cone = switching_region_bits(sg, region) | restricted
         if cone:
             label = (f"SR∪QR({event})" if len(regions) == 1
                      else f"SR∪QR_{region.index}({event})")
-            cones.append((label, frozenset(cone)))
+            cones.append((label, frozenset(enc.states_of(cone))))
     return cones
 
 
@@ -180,8 +201,8 @@ def encoding_atoms(sg: StateGraph) -> List[Tuple[str, FrozenSet[State]]]:
     in deterministic order; the CSC solver composes them pairwise into
     candidate insertion blocks.
     """
-    events: List[Event] = sorted({event for state in sg.states
-                                  for event, _ in sg.successors(state)})
+    enc = sg.encoding()
+    events: List[Event] = sorted(enc._event_bits)
     atoms: List[Tuple[str, FrozenSet[State]]] = []
     seen: Set[FrozenSet[State]] = set()
 
@@ -211,7 +232,7 @@ def encoding_atoms(sg: StateGraph) -> List[Tuple[str, FrozenSet[State]]]:
                 *(region.states for region in regions)))
     for signal in sg.signals:
         add(f"[{signal}=1]",
-            frozenset(s for s in sg.states if sg.code(s)[signal]))
+            frozenset(enc.states_of(enc.value_bits(signal))))
     return atoms
 
 

@@ -35,14 +35,13 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro._util import FrozenVector
-from repro.boolean.minimize import minimize
+from repro.boolean.minimize import _cube_int, minimize
 from repro.boolean.sop import SopCover
 from repro.errors import CoverError, CscViolation
-from repro.sg.encoding import next_state_sets, vectors_of
+from repro.sg.encoding import next_state_ints
 from repro.sg.graph import State, StateGraph
 from repro.sg.regions import (ExcitationRegion, excitation_regions,
-                              quiescent_region, switching_region,
-                              _stable_closure)
+                              stable_closure_bits)
 
 
 @dataclass
@@ -94,25 +93,25 @@ class RegionCover:
                 f"{self.cover.to_string()})")
 
 
-def _codes(sg: StateGraph, states) -> Set[FrozenVector]:
-    return {sg.code(s) for s in states}
-
-
 def _group_regions(sg: StateGraph,
                    regions: Sequence[ExcitationRegion]) -> List[List[ExcitationRegion]]:
     """Partition the ERs of one event into generalized-cover groups.
 
     Regions are merged when one region's ER codes intersect another's
     ER ∪ QR codes — exactly the situation in which MC conditions 1 and
-    2 for separate covers contradict each other.
+    2 for separate covers contradict each other.  Code sets are packed
+    ints over the encoding, so the pairwise intersection tests are set
+    operations on small int sets.
     """
     regions = list(regions)
     if len(regions) <= 1:
         return [regions] if regions else []
-    closures = {r.index: _stable_closure(sg, r) for r in regions}
-    er_codes = {r.index: _codes(sg, r.states) for r in regions}
+    enc = sg.encoding()
+    closures = {r.index: stable_closure_bits(sg, r) for r in regions}
+    er_codes = {r.index: enc.codes_of(enc.bitset(r.states))
+                for r in regions}
     zone_codes = {r.index: er_codes[r.index]
-                  | _codes(sg, closures[r.index]) for r in regions}
+                  | enc.codes_of(closures[r.index]) for r in regions}
 
     parent = {r.index: r.index for r in regions}
 
@@ -142,6 +141,19 @@ def _group_regions(sg: StateGraph,
     return ordered
 
 
+def _group_quiescent_bits(sg: StateGraph, group: Sequence[ExcitationRegion],
+                          others: Sequence[ExcitationRegion]
+                          ) -> Tuple[int, int]:
+    """Bitset twin of :func:`_group_quiescent`."""
+    closure = 0
+    for region in group:
+        closure |= stable_closure_bits(sg, region)
+    restricted = closure
+    for region in others:
+        restricted &= ~stable_closure_bits(sg, region)
+    return restricted, closure
+
+
 def _group_quiescent(sg: StateGraph, group: Sequence[ExcitationRegion],
                      others: Sequence[ExcitationRegion]
                      ) -> Tuple[Set[State], Set[State]]:
@@ -151,42 +163,41 @@ def _group_quiescent(sg: StateGraph, group: Sequence[ExcitationRegion],
     closures minus the closures of non-group siblings, and the
     unrestricted union itself.
     """
-    closure: Set[State] = set()
-    for region in group:
-        closure |= _stable_closure(sg, region)
-    restricted = set(closure)
-    for region in others:
-        restricted -= _stable_closure(sg, region)
-    return restricted, closure
+    enc = sg.encoding()
+    restricted, closure = _group_quiescent_bits(sg, group, others)
+    return set(enc.states_of(restricted)), set(enc.states_of(closure))
 
 
 def _synthesize_group(sg: StateGraph, group: Sequence[ExcitationRegion],
                       others: Sequence[ExcitationRegion],
                       support: Optional[Sequence[str]] = None) -> RegionCover:
     support = list(support) if support is not None else list(sg.signals)
-    quiescent, closure = _group_quiescent(sg, group, others)
-    er_states: Set[State] = set()
+    enc = sg.encoding()
+    quiescent_bits, closure_bits = _group_quiescent_bits(sg, group, others)
+    er_bits = 0
     for region in group:
-        er_states |= region.states
-    inside = er_states | quiescent
-    on_vectors = vectors_of(sg, er_states)
-    off_vectors = set(vectors_of(
-        sg, [s for s in sg.states if s not in inside]))
+        er_bits |= enc.bitset(region.states)
+    inside = er_bits | quiescent_bits
+    # ON / OFF as packed full-signal codes; minimize() projects onto
+    # ``support`` itself only when the caller restricted it.
+    on_ints = sorted(enc.codes_of(er_bits))
+    off_ints = set(enc.codes_of(enc.full_mask & ~inside))
+    if tuple(support) != enc.signals:
+        on_ints = sorted({enc.project(c, support) for c in on_ints})
+        off_ints = {enc.project(c, support) for c in off_ints}
 
-    ordered_quiescent = sorted(quiescent, key=repr)
+    ordered_quiescent = sorted(enc.states_of(quiescent_bits), key=repr)
     for _ in range(len(sg.states) + 1):
-        cover = minimize(on_vectors,
-                         sorted(off_vectors, key=lambda v: v.items()),
-                         support)
-        violation = _monotonicity_violation(sg, cover, quiescent,
+        cover = minimize(on_ints, sorted(off_ints), support)
+        violation = _monotonicity_violation(sg, cover, quiescent_bits,
                                             ordered_quiescent)
         if violation is None:
-            complement = minimize(
-                sorted(off_vectors, key=lambda v: v.items()),
-                on_vectors, support)
+            complement = minimize(sorted(off_ints), on_ints, support)
             return RegionCover(tuple(group), cover, complement,
-                               quiescent, closure)
-        off_vectors.add(violation)
+                               set(enc.states_of(quiescent_bits)),
+                               set(enc.states_of(closure_bits)))
+        off_ints.add(violation if tuple(support) == enc.signals
+                     else enc.project(violation, support))
     event = group[0].event
     raise CoverError(
         f"monotonicity repair for {event} did not converge")
@@ -223,27 +234,35 @@ def synthesize_event_covers(sg: StateGraph, event: str,
 
 
 def _monotonicity_violation(sg: StateGraph, cover: SopCover,
-                            quiescent: Set[State],
+                            quiescent_bits: int,
                             ordered: Optional[Sequence[State]] = None
-                            ) -> Optional[FrozenVector]:
+                            ) -> Optional[int]:
     """First quiescent state whose cover value *rises* along an arc
-    inside the quiescent region; its code must be forced OFF.
+    inside the quiescent region; its packed code must be forced OFF.
 
     States are visited in sorted (repr) order: iterating the raw set
     would make the first forced-OFF state — and hence the repaired
     cover — depend on hash order, which varies across interpreter runs
     for string-bearing state identities.  Callers that probe repeatedly
     (the repair loop) pass the pre-sorted ``ordered`` sequence to avoid
-    re-sorting per iteration.
+    re-sorting per iteration.  Cover evaluation runs on the packed
+    codes: one AND + compare per cube.
     """
+    enc = sg.encoding()
     if ordered is None:
-        ordered = sorted(quiescent, key=repr)
+        ordered = sorted(enc.states_of(quiescent_bits), key=repr)
+    cubes = [_cube_int(cube, enc.signals) for cube in cover]
+    codes, index = enc.codes, enc.index
     for state in ordered:
-        if cover.evaluate(sg.code(state)):
+        code = codes[index[state]]
+        if any((code & mask) == value for mask, value in cubes):
             continue
         for _, target in sg.successors(state):
-            if target in quiescent and cover.evaluate(sg.code(target)):
-                return sg.code(target)
+            j = index[target]
+            if (quiescent_bits >> j) & 1:
+                after = codes[j]
+                if any((after & mask) == value for mask, value in cubes):
+                    return after
     return None
 
 
@@ -254,8 +273,8 @@ def complete_cover(sg: StateGraph, signal: str) -> Optional[Tuple[SopCover, SopC
     combinational implementation (its next-state function does not need
     the signal itself in the support), else ``None``.
     """
-    on, off = next_state_sets(sg, signal)
     support = [s for s in sg.signals if s != signal]
+    on, off = next_state_ints(sg, signal, support)
     try:
         cover = minimize(on, off, support)
         complement = minimize(off, on, support)
@@ -272,9 +291,10 @@ def complete_cover_with_self(sg: StateGraph,
     implementation of the signal (a state-holding gate when the support
     includes the signal itself).
     """
-    on, off = next_state_sets(sg, signal)
-    cover = minimize(on, off, list(sg.signals))
-    complement = minimize(off, on, list(sg.signals))
+    support = list(sg.signals)
+    on, off = next_state_ints(sg, signal, support)
+    cover = minimize(on, off, support)
+    complement = minimize(off, on, support)
     return cover, complement
 
 

@@ -1,0 +1,236 @@
+"""Property tests for the bit-parallel minimizer kernels.
+
+The numpy/bitset fast paths must agree exactly with the scalar
+reference semantics they replaced: EXPAND's greedy choice, the
+irredundant greedy cover, coverage tests, and the dict-backed cube
+algebra.  The reference implementations are kept here, in test code,
+as the executable specification.
+"""
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean.cube import Cube
+from repro.boolean.minimize import (_contains, _count_covered,
+                                    _coverage_matrix, _covered,
+                                    _cube_back, _cube_int, _expand,
+                                    _hits, _irredundant, _vector_int,
+                                    minimize)
+from repro.errors import CoverError
+
+SIGNALS = ["a", "b", "c", "d", "e"]
+WIDTH = len(SIGNALS)
+
+IntCube = Tuple[int, int]
+
+
+def all_vectors():
+    return [dict(zip(SIGNALS, bits))
+            for bits in itertools.product((0, 1), repeat=WIDTH)]
+
+
+cube_strategy = st.dictionaries(
+    st.sampled_from(SIGNALS), st.integers(0, 1), max_size=WIDTH
+).map(Cube)
+
+int_set_strategy = st.sets(st.integers(0, 2 ** WIDTH - 1), max_size=12)
+
+spec_strategy = st.lists(st.integers(0, 2), min_size=2 ** WIDTH,
+                         max_size=2 ** WIDTH)
+
+
+# ----------------------------------------------------------------------
+# Scalar reference implementations (the executable specification)
+# ----------------------------------------------------------------------
+
+
+def reference_expand(cube: IntCube, off: "np.ndarray",
+                     prefer: "np.ndarray", width: int) -> IntCube:
+    """The original per-bit EXPAND loop."""
+    mask, value = cube
+    improved = True
+    while improved:
+        improved = False
+        best: Optional[Tuple[int, int, IntCube]] = None
+        for index in range(width):
+            bit = 1 << index
+            if not mask & bit:
+                continue
+            wider = (mask & ~bit, value & ~bit)
+            if _hits(wider, off):
+                continue
+            gain = _count_covered(wider, prefer) if len(prefer) else 0
+            key = (gain, index)
+            if best is None or key > best[:2]:
+                best = (gain, index, wider)
+        if best is not None:
+            mask, value = best[2]
+            improved = True
+    return mask, value
+
+
+def reference_irredundant(cubes: List[IntCube],
+                          on: Sequence[int]) -> List[IntCube]:
+    """The original greedy set-based irredundant step."""
+    owners: Dict[int, List[IntCube]] = {
+        v: [c for c in cubes if (v & c[0]) == c[1]] for v in on}
+    for vector, who in owners.items():
+        if not who:
+            raise CoverError("uncoverable")
+    chosen: List[IntCube] = []
+    remaining: Set[int] = set(on)
+    for vector, who in owners.items():
+        if len(who) == 1 and who[0] not in chosen:
+            chosen.append(who[0])
+    for cube in chosen:
+        remaining -= set(_covered(cube, remaining))
+    pool = [c for c in cubes if c not in chosen]
+    while remaining:
+        remaining_list = sorted(remaining)
+        best = max(pool or chosen,
+                   key=lambda c: (len(_covered(c, remaining_list)),
+                                  -bin(c[0]).count("1")))
+        gained = set(_covered(best, remaining))
+        if not gained:
+            raise CoverError("stuck")
+        if best not in chosen:
+            chosen.append(best)
+        remaining -= gained
+    pruned = list(chosen)
+    for cube in list(chosen):
+        trial = [c for c in pruned if c != cube]
+        if trial and all(any((v & c[0]) == c[1] for c in trial)
+                         for v in on):
+            pruned = trial
+    return pruned
+
+
+# ----------------------------------------------------------------------
+# EXPAND / IRREDUNDANT / coverage agree with the reference
+# ----------------------------------------------------------------------
+
+
+class TestVectorizedKernels:
+    @given(st.integers(0, 2 ** WIDTH - 1), int_set_strategy,
+           int_set_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_expand_matches_reference(self, seed, off, prefer):
+        off -= {seed}
+        off_array = np.array(sorted(off), dtype=np.int64)
+        prefer_array = np.array(sorted(prefer), dtype=np.int64)
+        cube = ((1 << WIDTH) - 1, seed)
+        assert _expand(cube, off_array, prefer_array, WIDTH) \
+            == reference_expand(cube, off_array, prefer_array, WIDTH)
+
+    @given(st.lists(st.tuples(st.integers(0, 2 ** WIDTH - 1),
+                              st.integers(0, 2 ** WIDTH - 1)),
+                    max_size=8),
+           int_set_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_irredundant_matches_reference(self, raw_cubes, on):
+        # Normalize to well-formed (mask, value) pairs, deduplicated
+        # (the minimize() call site guarantees both).
+        cubes = list({(mask, value & mask)
+                      for mask, value in raw_cubes})
+        on_list = sorted(on)
+        try:
+            expected = reference_irredundant(list(cubes), on_list)
+        except CoverError:
+            expected = None
+        if expected is None:
+            try:
+                _irredundant(list(cubes), on_list)
+            except CoverError:
+                return
+            raise AssertionError("reference raised, kernel did not")
+        assert _irredundant(list(cubes), on_list) == expected
+
+    @given(st.lists(cube_strategy, min_size=1, max_size=6),
+           int_set_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_coverage_matrix_matches_cube_evaluate(self, cubes, vectors):
+        vec_list = sorted(vectors)
+        array = np.array(vec_list, dtype=np.int64)
+        int_cubes = [_cube_int(cube, SIGNALS) for cube in cubes]
+        matrix = _coverage_matrix(int_cubes, array)
+        assert matrix.shape == (len(vec_list), len(cubes))
+        for i, bits in enumerate(vec_list):
+            vector = {name: (bits >> k) & 1
+                      for k, name in enumerate(SIGNALS)}
+            for j, cube in enumerate(cubes):
+                assert bool(matrix[i, j]) == cube.evaluate(vector)
+
+
+# ----------------------------------------------------------------------
+# Int-cube algebra agrees with the Cube reference
+# ----------------------------------------------------------------------
+
+
+class TestCubeAgreement:
+    @given(cube_strategy, cube_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_containment(self, a, b):
+        ia, ib = _cube_int(a, SIGNALS), _cube_int(b, SIGNALS)
+        assert _contains(ia, ib) == a.contains(b)
+
+    @given(cube_strategy, cube_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_intersection_semantics(self, a, b):
+        ia, ib = _cube_int(a, SIGNALS), _cube_int(b, SIGNALS)
+        conflict = (ia[1] ^ ib[1]) & ia[0] & ib[0]
+        both = a.intersect(b)
+        assert (conflict == 0) == (both is not None)
+        if both is not None:
+            merged = (ia[0] | ib[0], ia[1] | ib[1])
+            assert _cube_back(merged, SIGNALS) == both
+
+    @given(cube_strategy, cube_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_consensus_against_truth_table(self, a, b):
+        # The dict-backed consensus must still be the standard one:
+        # defined iff distance == 1, and covered by a ∪ b pointwise
+        # union with the conflict variable freed.
+        consensus = a.consensus(b)
+        assert (consensus is not None) == (a.distance(b) == 1)
+        if consensus is not None:
+            for vector in all_vectors():
+                if consensus.evaluate(vector):
+                    flipped = dict(vector)
+                    conflicts = [n for n in SIGNALS
+                                 if a.polarity(n) is not None
+                                 and b.polarity(n) is not None
+                                 and a.polarity(n) != b.polarity(n)]
+                    assert len(conflicts) == 1
+                    name = conflicts[0]
+                    flipped[name] = a.polarity(name)
+                    other = dict(vector)
+                    other[name] = b.polarity(name)
+                    assert a.evaluate(flipped) and b.evaluate(other)
+
+    @given(cube_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_polarity_matches_literal_tuple(self, cube):
+        literals = dict(tuple(cube))
+        for name in SIGNALS:
+            assert cube.polarity(name) == literals.get(name)
+
+
+# ----------------------------------------------------------------------
+# minimize() accepts packed ints and agrees with the mapping path
+# ----------------------------------------------------------------------
+
+
+class TestPackedInputs:
+    @given(spec_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_packed_and_mapping_inputs_agree(self, spec):
+        vectors = all_vectors()
+        on = [v for v, kind in zip(vectors, spec) if kind == 1]
+        off = [v for v, kind in zip(vectors, spec) if kind == 0]
+        on_ints = [_vector_int(v, SIGNALS) for v in on]
+        off_ints = [_vector_int(v, SIGNALS) for v in off]
+        assert minimize(on, off, SIGNALS) \
+            == minimize(on_ints, off_ints, SIGNALS)

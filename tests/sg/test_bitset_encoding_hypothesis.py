@@ -1,0 +1,180 @@
+"""Property tests for the packed-integer encoding layer.
+
+Random labelled state graphs (not necessarily consistent STGs — the
+bitset layer is pure graph/code plumbing) drive the :class:`Encoding`
+kernels against straightforward set-based reference implementations:
+bitset round-trips, packed codes, forward closures, weakly connected
+components, event targets and the region queries built on them.
+"""
+
+from typing import Dict, List, Set, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro._util import FrozenVector
+from repro.boolean.minimize import _vector_int
+from repro.sg.graph import StateGraph
+from repro.sg.regions import (excitation_regions, quiescent_region,
+                              switching_region, _stable_closure)
+
+SIGNALS = ("a", "b", "c")
+EVENTS = tuple(s + d for s in SIGNALS for d in "+-")
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    sg = StateGraph("prop", inputs=["a"], outputs=["b", "c"])
+    for i in range(n):
+        bits = draw(st.integers(0, 2 ** len(SIGNALS) - 1))
+        sg.add_state(i, FrozenVector(
+            {name: (bits >> k) & 1 for k, name in enumerate(SIGNALS)}))
+    arcs = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.sampled_from(EVENTS),
+                  st.integers(0, n - 1)),
+        max_size=3 * n, unique=True))
+    for source, event, target in arcs:
+        sg.add_arc(source, event, target)
+    sg.set_initial(0)
+    return sg
+
+
+def reference_closure(sg: StateGraph, start: Set, allowed: Set) -> Set:
+    closure = set(start) & allowed
+    frontier = list(closure)
+    while frontier:
+        state = frontier.pop()
+        for _, target in sg.successors(state):
+            if target in allowed and target not in closure:
+                closure.add(target)
+                frontier.append(target)
+    return closure
+
+
+def reference_components(sg: StateGraph, states: Set) -> List[Set]:
+    pool = set(states)
+    components = []
+    while pool:
+        seed = pool.pop()
+        component = {seed}
+        frontier = [seed]
+        while frontier:
+            state = frontier.pop()
+            neighbours = {t for _, t in sg.successors(state)} \
+                | {s for _, s in sg.predecessors(state)}
+            for other in neighbours & pool:
+                pool.discard(other)
+                component.add(other)
+                frontier.append(other)
+        components.append(component)
+    return components
+
+
+class TestEncodingKernels:
+    @given(graphs(), st.integers(0, 2 ** 10 - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_bitset_roundtrip(self, sg, raw):
+        enc = sg.encoding()
+        bits = raw & enc.full_mask
+        states = enc.states_of(bits)
+        assert enc.bitset(states) == bits
+        assert states == sorted(states, key=enc.index.__getitem__)
+
+    @given(graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_packed_codes_match_vector_int(self, sg):
+        enc = sg.encoding()
+        # Bit order must be exactly the minimizer's packing over the
+        # full signal support, so packed codes flow into minimize()
+        # without translation.
+        for state in sg.states:
+            packed = enc.codes[enc.index[state]]
+            assert packed == _vector_int(sg.code(state), sg.signals)
+            assert enc.unpack(packed) == sg.code(state)
+            assert enc.pack(sg.code(state)) == packed
+
+    @given(graphs(), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_project_matches_vector_int(self, sg, data):
+        enc = sg.encoding()
+        support = data.draw(st.permutations(SIGNALS))
+        for state in sg.states:
+            packed = enc.codes[enc.index[state]]
+            assert enc.project(packed, support) \
+                == _vector_int(sg.code(state), support)
+
+    @given(graphs(), st.integers(0, 2 ** 10 - 1),
+           st.integers(0, 2 ** 10 - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_closure_forward_matches_reference(self, sg, raw_start,
+                                               raw_allowed):
+        enc = sg.encoding()
+        start = raw_start & enc.full_mask
+        allowed = raw_allowed & enc.full_mask
+        expected = reference_closure(
+            sg, set(enc.states_of(start)), set(enc.states_of(allowed)))
+        assert set(enc.states_of(
+            enc.closure_forward(start, allowed))) == expected
+
+    @given(graphs(), st.integers(0, 2 ** 10 - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_components_match_reference(self, sg, raw):
+        enc = sg.encoding()
+        bits = raw & enc.full_mask
+        got = [set(enc.states_of(c)) for c in enc.components(bits)]
+        expected = reference_components(sg, set(enc.states_of(bits)))
+        assert sorted(map(sorted, got)) == sorted(map(sorted, expected))
+        # ascending lowest-index order
+        lows = [min(enc.index[s] for s in component) for component in got]
+        assert lows == sorted(lows)
+
+    @given(graphs(), st.sampled_from(EVENTS), st.integers(0, 2 ** 10 - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_event_targets_matches_reference(self, sg, event, raw):
+        enc = sg.encoding()
+        sources = set(enc.states_of(raw & enc.full_mask))
+        expected = {target for state in sources
+                    for label, target in sg.successors(state)
+                    if label == event}
+        assert set(enc.states_of(enc.event_targets(
+            event, enc.bitset(sources)))) == expected
+
+    @given(graphs(), st.sampled_from(EVENTS))
+    @settings(max_examples=100, deadline=None)
+    def test_event_bits_matches_reference(self, sg, event):
+        enc = sg.encoding()
+        expected = {s for s in sg.states
+                    if any(e == event for e, _ in sg.successors(s))}
+        assert set(enc.states_of(enc.event_bits(event))) == expected
+
+
+class TestRegionQueries:
+    @given(graphs(), st.sampled_from(EVENTS))
+    @settings(max_examples=100, deadline=None)
+    def test_excitation_regions_match_reference(self, sg, event):
+        excited = {s for s in sg.states
+                   if any(e == event for e, _ in sg.successors(s))}
+        regions = excitation_regions(sg, event)
+        assert set().union(*(r.states for r in regions), set()) \
+            == excited
+        expected = reference_components(sg, excited)
+        assert sorted(sorted(r.states) for r in regions) \
+            == sorted(map(sorted, expected))
+        assert [r.index for r in regions] \
+            == list(range(1, len(regions) + 1))
+
+    @given(graphs(), st.sampled_from(EVENTS))
+    @settings(max_examples=100, deadline=None)
+    def test_switching_and_quiescent_match_reference(self, sg, event):
+        signal = event[:-1]
+        for region in excitation_regions(sg, event):
+            sr = switching_region(sg, region)
+            assert sr == {t for s in region.states
+                          for e, t in sg.successors(s) if e == event}
+            stable = {s for s in sg.states
+                      if not sg.is_excited(s, signal)}
+            assert _stable_closure(sg, region) \
+                == reference_closure(sg, sr, stable)
+            # With no siblings the restricted QR is the closure itself.
+            assert quiescent_region(sg, region) \
+                == _stable_closure(sg, region)

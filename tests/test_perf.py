@@ -1,0 +1,111 @@
+"""The BENCH_<n>.json snapshot schema: build, validate, round-trip,
+numbering, and regression comparison."""
+
+import json
+
+import pytest
+
+from repro import perf
+
+
+def _snapshot(names=("dff", "half"), seconds=(1.0, 2.0)):
+    circuits = [{"name": name, "ok": True, "seconds": sec,
+                 "stages": {"reach": sec / 2, "map": sec / 2},
+                 "stats": {"sg": 1}}
+                for name, sec in zip(names, seconds)]
+    return perf.build_snapshot(
+        suite={"names": list(names)},
+        circuits=circuits,
+        cache={"cache_hits": 3, "cache_misses": 1},
+        total_seconds=sum(seconds))
+
+
+class TestSchema:
+    def test_build_snapshot_is_valid_and_aggregates_stages(self):
+        snapshot = _snapshot()
+        perf.validate_snapshot(snapshot)
+        assert snapshot["schema"] == perf.SCHEMA
+        assert snapshot["stage_totals"] == {"reach": 1.5, "map": 1.5}
+        assert snapshot["host"]["cpu_count"] >= 1
+
+    def test_round_trip(self, tmp_path):
+        snapshot = _snapshot()
+        path = tmp_path / "BENCH_001.json"
+        perf.write_snapshot(snapshot, str(path))
+        loaded = perf.load_snapshot(str(path))
+        assert loaded == json.loads(json.dumps(snapshot))
+
+    def test_validate_rejects_wrong_schema(self):
+        snapshot = _snapshot()
+        snapshot["schema"] = "si-mapper-bench/0"
+        with pytest.raises(ValueError, match="schema"):
+            perf.validate_snapshot(snapshot)
+
+    @pytest.mark.parametrize("key", ["host", "suite", "circuits",
+                                     "cache", "total_seconds"])
+    def test_validate_rejects_missing_keys(self, key):
+        snapshot = _snapshot()
+        del snapshot[key]
+        with pytest.raises(ValueError, match="missing"):
+            perf.validate_snapshot(snapshot)
+
+    def test_validate_rejects_malformed_circuit(self):
+        snapshot = _snapshot()
+        del snapshot["circuits"][0]["stages"]
+        with pytest.raises(ValueError, match="missing"):
+            perf.validate_snapshot(snapshot)
+        snapshot = _snapshot()
+        snapshot["circuits"][0]["seconds"] = -1
+        with pytest.raises(ValueError, match="non-negative"):
+            perf.validate_snapshot(snapshot)
+
+    def test_validate_rejects_empty_names(self):
+        snapshot = _snapshot()
+        snapshot["suite"]["names"] = []
+        with pytest.raises(ValueError, match="names"):
+            perf.validate_snapshot(snapshot)
+
+
+class TestNumbering:
+    def test_next_bench_path_starts_at_one(self, tmp_path):
+        assert perf.next_bench_path(str(tmp_path)).endswith(
+            "BENCH_001.json")
+
+    def test_next_bench_path_increments_past_highest(self, tmp_path):
+        (tmp_path / "BENCH_006.json").write_text("{}")
+        (tmp_path / "BENCH_004.json").write_text("{}")
+        (tmp_path / "not_a_bench.json").write_text("{}")
+        assert perf.next_bench_path(str(tmp_path)).endswith(
+            "BENCH_007.json")
+
+
+class TestCompare:
+    def test_ratio_over_common_circuits(self):
+        baseline = _snapshot(("dff", "half", "hazard"), (1.0, 2.0, 3.0))
+        current = _snapshot(("half", "hazard"), (3.0, 3.0))
+        result = perf.compare(baseline, current)
+        assert sorted(result["common"]) == ["half", "hazard"]
+        assert result["baseline_seconds"] == 5.0
+        assert result["current_seconds"] == 6.0
+        assert result["ratio"] == pytest.approx(1.2)
+
+    def test_failed_circuits_are_excluded(self):
+        baseline = _snapshot(("dff", "half"), (1.0, 2.0))
+        current = _snapshot(("dff", "half"), (1.0, 5.0))
+        current["circuits"][1]["ok"] = False
+        result = perf.compare(baseline, current)
+        assert result["common"] == ["dff"]
+        assert result["ratio"] == pytest.approx(1.0)
+
+
+class TestRunBench:
+    def test_run_bench_snapshots_a_real_battery(self):
+        snapshot = perf.run_bench(["dff"], libraries=(2,),
+                                  with_siegel=False, jobs=1)
+        perf.validate_snapshot(snapshot)
+        (entry,) = snapshot["circuits"]
+        assert entry["name"] == "dff" and entry["ok"]
+        assert set(entry["stages"]) >= {"load", "reach", "synthesize",
+                                        "map", "report"}
+        assert snapshot["suite"]["names"] == ["dff"]
+        assert snapshot["cache"]
