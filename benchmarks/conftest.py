@@ -21,7 +21,7 @@ regenerates the paper's tables and figures in bounded time:
 
 import os
 import time
-from typing import Dict
+from typing import Dict, Optional, Set
 
 import pytest
 
@@ -37,11 +37,33 @@ _CONTEXTS: Dict[str, SynthesisContext] = {}
 #: circuit -> stage -> wall-clock seconds spent computing artifacts
 #: through this harness (feeds the SI_MAPPER_BENCH_OUT snapshot)
 _TIMINGS: Dict[str, Dict[str, float]] = {}
+#: nodeid of the test currently running (None between tests)
+_CURRENT_NODE: Optional[str] = None
+#: nodeid -> circuits that test touched through the helpers below
+_TOUCHED: Dict[str, Set[str]] = {}
+#: circuits touched by at least one failed/errored test; their
+#: snapshot entries get ok=False so compare() skips their timings
+_FAILED_CIRCUITS: Set[str] = set()
 
 
 def _record_seconds(name: str, stage: str, seconds: float) -> None:
     per_stage = _TIMINGS.setdefault(name, {})
     per_stage[stage] = per_stage.get(stage, 0.0) + seconds
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    global _CURRENT_NODE
+    _CURRENT_NODE = item.nodeid
+    yield
+    _CURRENT_NODE = None
+
+
+def pytest_runtest_logreport(report):
+    """A failure in any phase (setup/call/teardown) marks every
+    circuit that test touched as not-ok in the snapshot."""
+    if report.failed:
+        _FAILED_CIRCUITS.update(_TOUCHED.get(report.nodeid, ()))
 
 
 def pytest_terminal_summary(terminalreporter):
@@ -66,7 +88,7 @@ def pytest_terminal_summary(terminalreporter):
             stages = dict(_TIMINGS.get(name, {}))
             circuits.append({
                 "name": name,
-                "ok": True,
+                "ok": name not in _FAILED_CIRCUITS,
                 "seconds": sum(stages.values()),
                 "stages": stages,
                 "stats": {key: value for key, value
@@ -91,6 +113,8 @@ def selected_names():
 
 
 def circuit_context(name: str) -> SynthesisContext:
+    if _CURRENT_NODE is not None:
+        _TOUCHED.setdefault(_CURRENT_NODE, set()).add(name)
     if name not in _CONTEXTS:
         _CONTEXTS[name] = SynthesisContext.from_benchmark(name,
                                                           cache=_CACHE)

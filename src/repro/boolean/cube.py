@@ -207,6 +207,20 @@ class Cube:
         # slot layout (cubes live inside on-disk artifact stores).
         return (Cube, (self._map,))
 
+    def __setstate__(self, state):
+        # Pickles written before ``_map`` existed (slot layout
+        # ``(_literals, _hash)``, default slot-state protocol) still
+        # live in on-disk artifact stores; rebuild every derived field
+        # from the literal tuple so they load into the current layout.
+        # ``_hash`` is recomputed, never restored: string hashes are
+        # salted per process, so a stored hash from another process
+        # would disagree with freshly built equal cubes.
+        slots = state[1] if isinstance(state, tuple) else state
+        self._literals = tuple(
+            tuple(item) for item in (slots or {}).get("_literals", ()))
+        self._map = dict(self._literals)
+        self._hash = hash(self._literals)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Cube):
             return NotImplemented

@@ -39,6 +39,23 @@ from repro.errors import CoverError
 Vector = Mapping[str, int]
 IntCube = Tuple[int, int]  # (mask, value): v covered iff v & mask == value
 
+#: widest support that fits a signed 64-bit packed vector
+_INT64_WIDTH = 63
+
+
+def _pack_dtype(width: int) -> "np.dtype":
+    """Array dtype for packed vectors over a ``width``-signal support.
+
+    ``int64`` is the fast path; supports wider than 63 signals do not
+    fit a machine word, so the same kernels run on ``object`` arrays of
+    arbitrary-precision Python ints (slower, identical semantics).
+    """
+    return np.dtype(np.int64 if width <= _INT64_WIDTH else object)
+
+
+def _pack_array(ints: Iterable[int], width: int) -> "np.ndarray":
+    return np.array(list(ints), dtype=_pack_dtype(width))
+
 
 def _vector_int(vector: Vector, support: Sequence[str]) -> int:
     try:
@@ -123,8 +140,10 @@ def _expand(cube: IntCube, off: "np.ndarray", prefer: "np.ndarray",
     as the scalar loop it replaces.
     """
     mask, value = cube
-    positions = np.arange(width, dtype=np.int64)
-    bits = np.left_shift(np.int64(1), positions)
+    if width <= _INT64_WIDTH:
+        bits = np.left_shift(np.int64(1), np.arange(width, dtype=np.int64))
+    else:
+        bits = np.array([1 << i for i in range(width)], dtype=object)
     n_off, n_prefer = len(off), len(prefer)
     while True:
         candidates = np.flatnonzero(mask & bits)
@@ -164,14 +183,15 @@ def _coverage_matrix(cubes: Sequence[IntCube],
                      vectors: "np.ndarray") -> "np.ndarray":
     """Boolean ``(len(vectors), len(cubes))`` matrix of cube-covers-
     vector, built with one broadcast AND + compare."""
-    masks = np.fromiter((c[0] for c in cubes), dtype=np.int64,
-                        count=len(cubes))
-    values = np.fromiter((c[1] for c in cubes), dtype=np.int64,
-                         count=len(cubes))
-    return (vectors[:, None] & masks[None, :]) == values[None, :]
+    masks = np.array([c[0] for c in cubes], dtype=vectors.dtype)
+    values = np.array([c[1] for c in cubes], dtype=vectors.dtype)
+    return np.asarray(
+        (vectors[:, None] & masks[None, :]) == values[None, :],
+        dtype=bool)
 
 
-def _irredundant(cubes: List[IntCube], on: Sequence[int]) -> List[IntCube]:
+def _irredundant(cubes: List[IntCube], on: Sequence[int],
+                 dtype: "np.dtype" = np.dtype(np.int64)) -> List[IntCube]:
     """Greedy minimum-ish subset of ``cubes`` still covering ``on``.
 
     Works on the coverage matrix: remaining ON-vectors are a boolean
@@ -183,7 +203,7 @@ def _irredundant(cubes: List[IntCube], on: Sequence[int]) -> List[IntCube]:
     """
     if not on:
         return []
-    on_array = np.fromiter(on, dtype=np.int64, count=len(on))
+    on_array = np.array(list(on), dtype=dtype)
     cov = _coverage_matrix(cubes, on_array) if cubes else np.zeros(
         (len(on), 0), dtype=bool)
     if not cov.any(axis=1).all():
@@ -288,8 +308,8 @@ def minimize(on: Iterable[Vector], off: Iterable[Vector],
         return SopCover.one()
 
     full_mask = (1 << width) - 1
-    off_array = np.array(off_ints, dtype=np.int64)
-    on_array = np.array(on_ints, dtype=np.int64)
+    off_array = _pack_array(off_ints, width)
+    on_array = _pack_array(on_ints, width)
     cubes: List[IntCube] = [(full_mask, v) for v in on_ints]
     for round_index in range(max(1, passes)):
         # Espresso-style EXPAND with covered-minterm skipping: a cube
@@ -307,7 +327,7 @@ def minimize(on: Iterable[Vector], off: Iterable[Vector],
                            key=lambda c: bin(c[0]).count("1")):
             if not any(_contains(other, cube) for other in kept):
                 kept.append(cube)
-        cubes = _irredundant(kept, on_ints)
+        cubes = _irredundant(kept, on_ints, _pack_dtype(width))
         if round_index + 1 < passes:
             # A vector is "owned" by a cube iff that cube is the only
             # one covering it: rows of the coverage matrix with exactly
@@ -345,10 +365,10 @@ def expand_cube(cube: Cube, off: Sequence[Vector],
     support = sorted(set(cube.support)
                      | {n for v in off for n in v.keys()}
                      | {n for v in (prefer or []) for n in v.keys()})
-    off_ints = np.array([_vector_int(v, support) for v in off],
-                        dtype=np.int64)
-    prefer_ints = np.array([_vector_int(v, support)
-                            for v in (prefer or [])], dtype=np.int64)
+    off_ints = _pack_array((_vector_int(v, support) for v in off),
+                           len(support))
+    prefer_ints = _pack_array((_vector_int(v, support)
+                               for v in (prefer or [])), len(support))
     expanded = _expand(_cube_int(cube, support), off_ints, prefer_ints,
                        len(support))
     return _cube_back(expanded, support)

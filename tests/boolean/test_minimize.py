@@ -4,8 +4,10 @@ import itertools
 
 import pytest
 
-from repro.boolean.minimize import expand_cube, literal_complexity, minimize
+from repro.boolean.minimize import (_vector_int, expand_cube,
+                                    literal_complexity, minimize)
 from repro.boolean.cube import Cube
+from repro.boolean.sop import SopCover
 from repro.errors import CoverError
 from repro._util import FrozenVector
 
@@ -96,6 +98,46 @@ class TestExpandCube:
                FrozenVector({"a": 0, "b": 1})]
         cube = Cube.from_string("a b")
         assert expand_cube(cube, off) == cube
+
+
+class TestWideSupport:
+    """Supports wider than 63 signals do not fit the int64 packing;
+    the kernels must fall back to object arrays of Python ints instead
+    of raising OverflowError."""
+
+    SUPPORT = [f"s{i:02d}" for i in range(70)]
+
+    def _vector(self, ones):
+        return {name: (1 if name in ones else 0) for name in self.SUPPORT}
+
+    def test_minimize_beyond_63_signals(self):
+        on = [self._vector({"s69"}),
+              self._vector({"s69", "s00"}),
+              self._vector({"s69", "s64", "s32"})]
+        off = [self._vector(set()),
+               self._vector({"s64"}),
+               self._vector({"s00", "s31"})]
+        cover = minimize(on, off, self.SUPPORT)
+        assert all(cover.evaluate(v) for v in on)
+        assert not any(cover.evaluate(v) for v in off)
+        # EXPAND must still find the single-literal prime on the bit
+        # past the int64 boundary.
+        assert cover == SopCover([Cube({"s69": 1})])
+
+    def test_packed_int_inputs_agree_beyond_63_signals(self):
+        on = [self._vector({"s69"}), self._vector({"s69", "s65"})]
+        off = [self._vector({"s65"}), self._vector(set())]
+        on_ints = [_vector_int(v, self.SUPPORT) for v in on]
+        off_ints = [_vector_int(v, self.SUPPORT) for v in off]
+        assert minimize(on, off, self.SUPPORT) \
+            == minimize(on_ints, off_ints, self.SUPPORT)
+
+    def test_expand_cube_beyond_63_signals(self):
+        off = [FrozenVector(self._vector(set()))]
+        cube = Cube({name: 1 for name in self.SUPPORT})
+        expanded = expand_cube(cube, off)
+        assert len(expanded) == 1
+        assert not expanded.evaluate(off[0])
 
 
 class TestLiteralComplexity:
