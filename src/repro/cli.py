@@ -26,8 +26,9 @@ Every command runs through :mod:`repro.pipeline`, so repeated stages
 they are computed once *ever*: artifacts persist in an on-disk store
 and later runs — including parallel ``report`` workers — warm-start
 from it.  ``--cache-url URL`` (or ``SI_MAPPER_CACHE_URL``) points at a
-``si-mapper serve`` daemon instead, and giving *both* tiers the local
-disk in front of the remote server.
+``si-mapper serve`` daemon instead, ``--cache-s3 SPEC`` (or
+``SI_MAPPER_CACHE_S3``) at an S3-compatible bucket — and a directory
+plus either shared backend tiers the local disk in front of it.
 """
 
 from __future__ import annotations
@@ -49,6 +50,8 @@ from repro.synthesis.library import GateLibrary
 CACHE_ENV = "SI_MAPPER_CACHE"
 #: environment fallback for ``--cache-url``
 CACHE_URL_ENV = "SI_MAPPER_CACHE_URL"
+#: environment fallback for ``--cache-s3``
+CACHE_S3_ENV = "SI_MAPPER_CACHE_S3"
 
 
 def _cache_dir_of(args: argparse.Namespace) -> Optional[str]:
@@ -62,9 +65,16 @@ def _cache_url_of(args: argparse.Namespace) -> Optional[str]:
             or os.environ.get(CACHE_URL_ENV))
 
 
+def _cache_s3_of(args: argparse.Namespace) -> Optional[str]:
+    """The object-store spec: flag first, then environment."""
+    return (getattr(args, "cache_s3", None)
+            or os.environ.get(CACHE_S3_ENV))
+
+
 def _cache_of(args: argparse.Namespace) -> Optional[ArtifactCache]:
     from repro.dist.base import make_store
-    store = make_store(_cache_dir_of(args), _cache_url_of(args))
+    store = make_store(_cache_dir_of(args), _cache_url_of(args),
+                       _cache_s3_of(args))
     if store is None:
         return None
     return ArtifactCache(disk=store)
@@ -87,7 +97,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
         verify=args.verify,
         keep_artifacts=True,
         cache_dir=_cache_dir_of(args),
-        cache_url=_cache_url_of(args))
+        cache_url=_cache_url_of(args),
+        cache_s3=_cache_s3_of(args))
     record = Pipeline(config).run(args.circuit)
     mode = "local" if args.local_ack else "global"
     result = record.mappings[(args.literals, mode)]
@@ -209,16 +220,28 @@ def _cmd_report(args: argparse.Namespace) -> int:
                         config=mapper,
                         progress=True, jobs=args.jobs,
                         cache_dir=_cache_dir_of(args),
-                        cache_url=_cache_url_of(args))
+                        cache_url=_cache_url_of(args),
+                        cache_s3=_cache_s3_of(args))
     rows = [item.record.row for item in items if item.ok]
     failures = [(item.name, item.error) for item in items
                 if not item.ok]
     print(render_report(rows, failures))
     if shard is not None:
         from repro.dist.shard import shard_payload, write_shard
+        # aggregate this shard's cache traffic so the shard file tells
+        # the operator how much the shared tier actually served
+        telemetry: dict = {}
+        for item in items:
+            if item.record is None:
+                continue
+            for counter, value in item.record.stats.items():
+                if counter.startswith(("disk_", "remote_")):
+                    telemetry[counter] = (telemetry.get(counter, 0)
+                                          + int(value))
         write_shard(out, shard_payload(
             chosen, shard, tuple(args.literals), not args.no_siegel,
-            None if mapper is None else repr(mapper), rows, failures))
+            None if mapper is None else repr(mapper), rows, failures,
+            telemetry=telemetry))
         print(f"shard {shard[0]}/{shard[1]}: {len(subset)} of "
               f"{len(chosen)} circuits -> {out}", file=sys.stderr)
     return 0 if len(rows) == len(subset) else 1
@@ -249,7 +272,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         names, libraries=tuple(args.literals),
         with_siegel=not args.no_siegel, jobs=args.jobs,
         progress=True, cache_dir=_cache_dir_of(args),
-        cache_url=_cache_url_of(args))
+        cache_url=_cache_url_of(args),
+        cache_s3=_cache_s3_of(args))
     out = args.out or perf.next_bench_path(".")
     perf.write_snapshot(snapshot, out)
 
@@ -310,13 +334,16 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     # flag wins outright, so `cache clear --cache-url ...` clears the
     # *server*, never a local store picked up from $SI_MAPPER_CACHE
     # (the tiered composite maintains only its local layer).
-    if args.cache_dir or args.cache_url:
-        store = make_store(args.cache_dir, args.cache_url)
+    if args.cache_dir or args.cache_url or args.cache_s3:
+        store = make_store(args.cache_dir, args.cache_url,
+                           args.cache_s3)
     else:
-        store = make_store(_cache_dir_of(args), _cache_url_of(args))
+        store = make_store(_cache_dir_of(args), _cache_url_of(args),
+                           _cache_s3_of(args))
     if store is None:
-        print("error: no cache store (use --cache-dir/--cache-url or "
-              f"set ${CACHE_ENV}/${CACHE_URL_ENV})", file=sys.stderr)
+        print("error: no cache store (use --cache-dir/--cache-url/"
+              f"--cache-s3 or set ${CACHE_ENV}/${CACHE_URL_ENV}/"
+              f"${CACHE_S3_ENV})", file=sys.stderr)
         return 2
     if args.action == "stats":
         # a missing or empty store directory is just an empty
@@ -395,6 +422,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "too, the local store tiers in front of "
                               "the server (default: "
                               f"${CACHE_URL_ENV} if set)")
+    caching.add_argument("--cache-s3", default=None, metavar="SPEC",
+                         help="share artifacts through an S3-"
+                              "compatible object store: bucket/prefix "
+                              "(boto3 + AWS credential chain) or "
+                              "http(s)://endpoint/bucket/prefix "
+                              "(unsigned, any S3-compatible endpoint); "
+                              "with --cache-dir too, the local store "
+                              "tiers in front of the bucket (default: "
+                              f"${CACHE_S3_ENV} if set)")
 
     p_map = sub.add_parser("map", help="map an STG into a library",
                            parents=[caching])

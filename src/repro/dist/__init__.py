@@ -2,29 +2,49 @@
 
 This package makes the repo multi-machine.  The shared artifact store
 is the only coordination point of the whole synthesis flow — every
-expensive intermediate is content-addressed — so distribution is three
+expensive intermediate is content-addressed — so distribution is a few
 small layers over it:
+
+:mod:`repro.dist.envelope`
+    The shared wire/disk format: codec-stamped compressed envelopes
+    (``encode_entry``/``decode_entry``/``transcode``), the per-kind
+    :data:`~repro.dist.envelope.ARTIFACT_FORMATS` stamps and the
+    content addressing (``kind_of``/``digest_of``).  Every backend
+    moves these exact bytes.
 
 :mod:`repro.dist.base`
     The :class:`ArtifactStore` protocol every backend implements
     (``get/put/report/gc/clear/telemetry``) and :func:`make_store`,
     the factory the pipeline and CLI use to turn ``--cache-dir`` /
-    ``--cache-url`` into a backend:  disk, remote, or a write-through
-    :class:`TieredStore` of both.
+    ``--cache-url`` / ``--cache-s3`` into a backend: disk, remote,
+    object store, or a write-through :class:`TieredStore`.
 
 :mod:`repro.dist.remote`
     :class:`RemoteArtifactCache`, the stdlib-HTTP client backend.
     Content-addressed by the same sha256 keys as the disk store, same
-    envelope bytes, format stamps checked client-side; every network
-    failure degrades to a miss and opens a cooldown, so a dead server
-    never fails a run.
+    envelope bytes, format stamps checked client-side, downloads in
+    ranged chunks and streams uploads; every network failure degrades
+    to a miss and opens a cooldown, so a dead server never fails a
+    run.
+
+:mod:`repro.dist.objectstore`
+    :class:`ObjectStoreArtifactCache`, the S3-compatible backend:
+    the same envelope bytes and content addresses filed as objects
+    under ``bucket/prefix``, via ``boto3`` when importable or a
+    stdlib-HTTP transport against any S3-compatible endpoint.
+    Serverless workers share a cache without running ``serve``.
 
 :mod:`repro.dist.server`
     :class:`ArtifactServer`, the ``si-mapper serve`` daemon: a
     ``ThreadingHTTPServer`` exposing one disk store to the cluster
-    (``GET/PUT/HEAD /artifact/<kind>/<digest>``, ``/stats``,
-    ``/healthz``, remote ``gc``/``clear``) with atomic writes and
-    idempotent concurrent PUTs.
+    (``GET/PUT/HEAD /artifact/<kind>/<digest>`` with ``Range``
+    support and codec negotiation, ``/stats``, ``/healthz``, remote
+    ``gc``/``clear``) with atomic streamed writes and idempotent
+    concurrent PUTs.
+
+:mod:`repro.dist.s3fake`
+    :class:`FakeS3Server`, an in-process S3-compatible object store
+    (stdlib HTTP, no external service) for tests and CI smoke runs.
 
 :mod:`repro.dist.shard`
     Deterministic partition of the benchmark suite by stable name
@@ -43,19 +63,58 @@ A full distributed Table-1 run::
 
     # anywhere — reassemble the byte-identical Table 1
     si-mapper report --merge shard*.json
+
+Exports resolve lazily (PEP 562): :mod:`repro.pipeline.store` imports
+the envelope submodule while :mod:`repro.dist.base` imports the
+pipeline store, and eager package imports would turn that seam into a
+cycle.
 """
 
-from repro.dist.base import ArtifactStore, empty_telemetry, make_store
-from repro.dist.remote import (RemoteArtifactCache, RemoteStats,
-                               TieredStore)
-from repro.dist.server import ArtifactServer
-from repro.dist.shard import (SHARD_SCHEMA, merge_shards, parse_shard,
-                              read_shard, shard_index, shard_names,
-                              shard_payload, write_shard)
+from typing import Any
 
-__all__ = [
-    "ArtifactServer", "ArtifactStore", "RemoteArtifactCache",
-    "RemoteStats", "SHARD_SCHEMA", "TieredStore", "empty_telemetry",
-    "make_store", "merge_shards", "parse_shard", "read_shard",
-    "shard_index", "shard_names", "shard_payload", "write_shard",
-]
+#: export name -> defining submodule
+_EXPORTS = {
+    "ArtifactServer": "repro.dist.server",
+    "ArtifactStore": "repro.dist.base",
+    "ARTIFACT_FORMATS": "repro.dist.envelope",
+    "DEFAULT_CODEC": "repro.dist.envelope",
+    "FakeS3Server": "repro.dist.s3fake",
+    "ObjectStoreArtifactCache": "repro.dist.objectstore",
+    "RemoteArtifactCache": "repro.dist.remote",
+    "RemoteStats": "repro.dist.remote",
+    "SHARD_SCHEMA": "repro.dist.shard",
+    "STORE_LAYOUT": "repro.dist.envelope",
+    "TieredStore": "repro.dist.remote",
+    "available_codecs": "repro.dist.envelope",
+    "decode_entry": "repro.dist.envelope",
+    "digest_of": "repro.dist.envelope",
+    "empty_telemetry": "repro.dist.base",
+    "encode_entry": "repro.dist.envelope",
+    "kind_of": "repro.dist.envelope",
+    "make_store": "repro.dist.base",
+    "merge_shards": "repro.dist.shard",
+    "parse_shard": "repro.dist.shard",
+    "read_shard": "repro.dist.shard",
+    "shard_index": "repro.dist.shard",
+    "shard_names": "repro.dist.shard",
+    "shard_payload": "repro.dist.shard",
+    "transcode": "repro.dist.envelope",
+    "write_shard": "repro.dist.shard",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value              # cache for the next lookup
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

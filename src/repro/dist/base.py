@@ -2,8 +2,9 @@
 
 Every artifact-store backend — the local
 :class:`~repro.pipeline.store.DiskArtifactCache`, the HTTP
-:class:`~repro.dist.remote.RemoteArtifactCache`, and the write-through
-:class:`~repro.dist.remote.TieredStore` — implements the
+:class:`~repro.dist.remote.RemoteArtifactCache`, the S3-compatible
+:class:`~repro.dist.objectstore.ObjectStoreArtifactCache`, and the
+write-through :class:`~repro.dist.remote.TieredStore` — implements the
 :class:`ArtifactStore` protocol.  The in-memory
 :class:`~repro.pipeline.cache.ArtifactCache` layers over *any* of
 them, so the pipeline, the batch runner and the CLI never care where
@@ -57,24 +58,43 @@ class ArtifactStore(Protocol):
 
 
 def make_store(cache_dir: Optional[str] = None,
-               cache_url: Optional[str] = None
+               cache_url: Optional[str] = None,
+               cache_s3: Optional[str] = None
                ) -> Optional[ArtifactStore]:
     """Build the artifact backend a run configuration asks for.
 
     * directory only → the local :class:`DiskArtifactCache`;
     * URL only → the HTTP :class:`RemoteArtifactCache`;
-    * both → a :class:`TieredStore` (disk write-through in front of
-      the remote server — warm workers re-read locally);
+    * S3 spec only → the :class:`ObjectStoreArtifactCache`;
+    * directory + one shared backend → a :class:`TieredStore` (disk
+      write-through in front of the shared store — warm workers
+      re-read locally);
     * neither → ``None`` (memory-only caching).
+
+    A URL *and* an S3 spec together is a configuration error
+    (:class:`~repro.errors.StoreConfigError`): the pipeline has one
+    shared tier, and silently ignoring one of two explicitly
+    configured backends would be worse than refusing.
     """
     from repro.pipeline.store import DiskArtifactCache
-    if cache_dir and cache_url:
-        from repro.dist.remote import RemoteArtifactCache, TieredStore
-        return TieredStore(DiskArtifactCache(cache_dir),
-                           RemoteArtifactCache(cache_url))
+    if cache_url and cache_s3:
+        from repro.errors import StoreConfigError
+        raise StoreConfigError(
+            "--cache-url and --cache-s3 are mutually exclusive: "
+            "a run has one shared artifact tier (add --cache-dir "
+            "for a local layer in front of either)")
+    shared: Optional[ArtifactStore] = None
     if cache_url:
         from repro.dist.remote import RemoteArtifactCache
-        return RemoteArtifactCache(cache_url)
+        shared = RemoteArtifactCache(cache_url)
+    elif cache_s3:
+        from repro.dist.objectstore import ObjectStoreArtifactCache
+        shared = ObjectStoreArtifactCache(cache_s3)
+    if cache_dir and shared is not None:
+        from repro.dist.remote import TieredStore
+        return TieredStore(DiskArtifactCache(cache_dir), shared)
+    if shared is not None:
+        return shared
     if cache_dir:
         return DiskArtifactCache(cache_dir)
     return None

@@ -3,10 +3,19 @@
 :class:`RemoteArtifactCache` speaks the serve daemon's tiny
 content-addressed protocol (``GET/PUT /artifact/<kind>/<digest>``)
 over stdlib ``urllib`` — no third-party dependencies.  Entries travel
-in the exact envelope :class:`~repro.pipeline.store.DiskArtifactCache`
-writes to disk, and the *client* checks the per-kind
-:data:`~repro.pipeline.store.ARTIFACT_FORMATS` stamp after download,
-so a schema bump on one worker never poisons another.
+in the exact codec-stamped envelope every other backend moves
+(:mod:`repro.dist.envelope`), and the *client* checks the per-kind
+:data:`~repro.dist.envelope.ARTIFACT_FORMATS` stamp after download, so
+a schema bump on one worker never poisons another.
+
+Transfers never require whole-entry buffers on the server: downloads
+go in ranged chunks (``Range``/``Content-Range``; a pre-range server
+answering ``200`` with the whole body still works) and uploads stream
+a spooled body with an explicit ``Content-Length``.  Every request
+advertises the codecs this interpreter can decompress
+(``X-SI-Codecs``), so a v2 server knows it may ship ``zlib``/``zstd``
+envelopes — and falls back to ``identity`` for clients that predate
+the stamp.
 
 Failure model: the store is an accelerator.  Every network problem —
 connection refused, timeout, a 5xx — degrades to a cache miss (or a
@@ -22,7 +31,9 @@ its own disk instead of the network), writes go to both.
 from __future__ import annotations
 
 import http.client
+import io
 import json
+import re
 import time
 import urllib.error
 import urllib.parse
@@ -30,11 +41,11 @@ import urllib.request
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Optional, Tuple
 
-from repro.pipeline.store import (ARTIFACT_FORMATS, MISS,
-                                  DiskArtifactCache, StoreReport,
-                                  _ThreadSafeCounters, decode_entry,
-                                  digest_of, empty_telemetry,
-                                  encode_entry, kind_of)
+from repro.dist.envelope import (ARTIFACT_FORMATS, available_codecs,
+                                 decode_entry, digest_of, encode_entry,
+                                 kind_of, resolve_codec)
+from repro.pipeline.store import (MISS, DiskArtifactCache, StoreReport,
+                                  _ThreadSafeCounters, empty_telemetry)
 
 
 @dataclass
@@ -70,23 +81,32 @@ class RemoteStats(_ThreadSafeCounters):
 _NETWORK_ERRORS = (urllib.error.URLError, http.client.HTTPException,
                    ConnectionError, OSError, TimeoutError)
 
+#: ``Content-Range: bytes <first>-<last>/<total>`` of a 206 reply
+_CONTENT_RANGE = re.compile(r"bytes\s+(\d+)-(\d+)/(\d+)")
+
 
 class RemoteArtifactCache:
     """Artifact-store client for a ``si-mapper serve`` daemon.
 
     Content-addressed exactly like the disk store: an entry's address
-    is ``(kind, sha256(repr(key)))``, its body is the shared header +
-    payload envelope.  Downloads are validated against the local
-    :data:`ARTIFACT_FORMATS` stamp before use.
+    is ``(kind, sha256(repr(key)))``, its body is the shared envelope.
+    Downloads are validated against the local
+    :data:`ARTIFACT_FORMATS` stamp before use.  ``codec`` names what
+    uploads are compressed with; ``chunk_bytes`` bounds how much of an
+    entry is requested per ranged GET.
     """
 
     def __init__(self, base_url: str, timeout: float = 10.0,
-                 cooldown: float = 30.0):
+                 cooldown: float = 30.0,
+                 chunk_bytes: int = 4 * 1024 * 1024,
+                 codec: Optional[str] = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         #: seconds to stop talking to the server after a network
         #: failure; 0 retries every request (tests use that)
         self.cooldown = cooldown
+        self.chunk_bytes = max(1, int(chunk_bytes))
+        self.codec = resolve_codec(codec)
         self.stats = RemoteStats()
         self._down_until = 0.0
 
@@ -100,16 +120,70 @@ class RemoteArtifactCache:
     def _mark_down(self) -> None:
         self._down_until = time.monotonic() + self.cooldown
 
-    def _request(self, method: str, path: str,
-                 data: Optional[bytes] = None) -> bytes:
+    def _open(self, method: str, path: str, data=None,
+              headers: Optional[Dict[str, str]] = None):
         request = urllib.request.Request(self.base_url + path,
                                          data=data, method=method)
         if data is not None:
             request.add_header("Content-Type",
                                "application/octet-stream")
-        with urllib.request.urlopen(request,
-                                    timeout=self.timeout) as response:
+        for name, value in (headers or {}).items():
+            request.add_header(name, value)
+        return urllib.request.urlopen(request, timeout=self.timeout)
+
+    def _request(self, method: str, path: str,
+                 data: Optional[bytes] = None,
+                 headers: Optional[Dict[str, str]] = None) -> bytes:
+        with self._open(method, path, data=data,
+                        headers=headers) as response:
             return response.read()
+
+    def _download(self, path: str) -> bytes:
+        """Fetch an entry in ranged chunks.
+
+        The first request asks for ``bytes=0-(chunk-1)``; a pre-range
+        server ignores that and answers ``200`` with the whole body,
+        which is accepted as-is.  A ``206`` reply's ``Content-Range``
+        total drives the remaining chunk requests.  Raises the usual
+        network errors (plus :class:`http.client.HTTPException` on a
+        protocol violation such as a no-progress chunk), which the
+        caller maps to a miss + cooldown.
+        """
+        codec_header = {"X-SI-Codecs": ", ".join(available_codecs())}
+
+        def ranged(first: int, last: int) -> Dict[str, str]:
+            headers = dict(codec_header)
+            headers["Range"] = f"bytes={first}-{last}"
+            return headers
+
+        with self._open("GET", path, headers=ranged(
+                0, self.chunk_bytes - 1)) as response:
+            status = response.status
+            body = response.read()
+            content_range = response.headers.get("Content-Range")
+        if status != 206:
+            return body          # whole entry at once (pre-range server)
+        match = _CONTENT_RANGE.match(content_range or "")
+        if match is None:
+            raise http.client.HTTPException(
+                f"206 reply with unparseable Content-Range "
+                f"{content_range!r}")
+        total = int(match.group(3))
+        parts = [body]
+        have = len(body)
+        while have < total:
+            last = min(have + self.chunk_bytes, total) - 1
+            with self._open("GET", path,
+                            headers=ranged(have, last)) as response:
+                status = response.status
+                chunk = response.read()
+            if status != 206 or not chunk:
+                raise http.client.HTTPException(
+                    "ranged download made no progress "
+                    f"({have}/{total} bytes)")
+            parts.append(chunk)
+            have += len(chunk)
+        return b"".join(parts)
 
     @staticmethod
     def _entry_path(kind: str, digest: str) -> str:
@@ -137,8 +211,8 @@ class RemoteArtifactCache:
             self.stats.add(misses=1)
             return MISS, None
         try:
-            data = self._request(
-                "GET", self._entry_path(kind_of(key), digest_of(key)))
+            data = self._download(
+                self._entry_path(kind_of(key), digest_of(key)))
         except urllib.error.HTTPError as error:
             error.close()
             if error.code == 404:
@@ -172,7 +246,7 @@ class RemoteArtifactCache:
         if version is None:
             return False
         try:
-            data = encode_entry(key, value, version)
+            data = encode_entry(key, value, version, codec=self.codec)
         except Exception:
             self.stats.add(write_skips=1)
             return False
@@ -180,13 +254,20 @@ class RemoteArtifactCache:
 
     def put_raw(self, kind: str, digest: str, data: bytes) -> bool:
         """Upload already-encoded envelope bytes (the tiered write
-        path encodes once and feeds both layers raw)."""
+        path encodes once and feeds both layers raw).
+
+        The body goes up as a streamed file object with an explicit
+        ``Content-Length`` — never chunked transfer-encoding, which
+        the stdlib server cannot parse — so big uploads keep working
+        if a caller swaps the ``BytesIO`` for a real spool file.
+        """
         if not self._available():
             self.stats.add(write_skips=1)
             return False
         try:
             self._request("PUT", self._entry_path(kind, digest),
-                          data=data)
+                          data=io.BytesIO(data),
+                          headers={"Content-Length": str(len(data))})
         except urllib.error.HTTPError as error:
             # a refused upload (413, 400) is a skip; a server-side
             # failure (507 full store, proxy 5xx) is an *error* — the
@@ -211,7 +292,12 @@ class RemoteArtifactCache:
     # ------------------------------------------------------------------
 
     def report(self) -> StoreReport:
-        """The server's inventory; empty when unreachable."""
+        """The server's inventory; empty when unreachable.
+
+        ``by_kind`` entries come as 2-tuples from pre-codec servers
+        (no raw-size accounting — stored stands in for raw) and as
+        3-tuples from current ones.
+        """
         report = StoreReport(root=self.base_url)
         try:
             data = self._request("GET", "/stats")
@@ -220,10 +306,15 @@ class RemoteArtifactCache:
             return report
         report.entries = int(inventory.get("entries", 0))
         report.bytes = int(inventory.get("bytes", 0))
-        report.by_kind = {
-            kind: (int(count), int(size))
-            for kind, (count, size) in
-            inventory.get("by_kind", {}).items()}
+        report.raw_bytes = int(inventory.get("raw_bytes",
+                                             report.bytes))
+        by_kind: Dict[str, Tuple[int, int, int]] = {}
+        for kind, counts in inventory.get("by_kind", {}).items():
+            counts = list(counts)
+            count, stored = int(counts[0]), int(counts[1])
+            raw = int(counts[2]) if len(counts) > 2 else stored
+            by_kind[kind] = (count, stored, raw)
+        report.by_kind = by_kind
         return report
 
     def _maintenance(self, path: str) -> Tuple[int, int]:
@@ -271,18 +362,21 @@ class RemoteArtifactCache:
 
 
 class TieredStore:
-    """Local disk write-through in front of a remote store.
+    """Local disk write-through in front of a shared store.
 
-    Reads consult the local layer first; a remote hit is written back
-    locally so the next read never leaves the machine.  Writes go to
-    both layers.  Maintenance (:meth:`report` / :meth:`gc` /
-    :meth:`clear`) acts on the *local* layer — the shared server is
-    maintained by its operator (``si-mapper cache --cache-url ...``),
-    not as a side effect of one worker's housekeeping.
+    Reads consult the local layer first; a hit on the shared layer is
+    written back locally so the next read never leaves the machine.
+    Writes go to both layers.  The shared layer is any backend with
+    the raw-envelope surface (``fetch``/``put_raw`` + ``stats``) —
+    :class:`RemoteArtifactCache` or :class:`~repro.dist.objectstore.
+    ObjectStoreArtifactCache`.  Maintenance (:meth:`report` /
+    :meth:`gc` / :meth:`clear`) acts on the *local* layer — the shared
+    store is maintained by its operator (``si-mapper cache
+    --cache-url ...``), not as a side effect of one worker's
+    housekeeping.
     """
 
-    def __init__(self, local: DiskArtifactCache,
-                 remote: RemoteArtifactCache):
+    def __init__(self, local: DiskArtifactCache, remote: Any):
         self.local = local
         self.remote = remote
 
@@ -304,7 +398,8 @@ class TieredStore:
         if version is None:
             return False
         try:
-            data = encode_entry(key, value, version)
+            data = encode_entry(key, value, version,
+                                codec=self.local.codec)
         except Exception:
             self.local.stats.add(write_skips=1)
             self.remote.stats.add(write_skips=1)

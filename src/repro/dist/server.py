@@ -4,19 +4,31 @@ A :class:`ThreadingHTTPServer` daemon exposing one
 :class:`~repro.pipeline.store.DiskArtifactCache` to a cluster of
 workers over a tiny content-addressed protocol:
 
-* ``GET  /artifact/<kind>/<digest>`` — raw envelope bytes, 404 on miss;
+* ``GET  /artifact/<kind>/<digest>`` — raw envelope bytes, 404 on
+  miss; single-range ``Range: bytes=a-b`` requests are honoured with
+  ``206`` + ``Content-Range`` so clients fetch big entries in chunks;
 * ``HEAD /artifact/<kind>/<digest>`` — existence + size, no body;
-* ``PUT  /artifact/<kind>/<digest>`` — store an envelope atomically;
+* ``PUT  /artifact/<kind>/<digest>`` — store an envelope atomically,
+  streamed to disk chunk by chunk (no whole-entry buffer);
 * ``GET  /stats``    — JSON inventory + request counters;
 * ``GET  /healthz``  — liveness probe;
 * ``POST /gc``, ``POST /clear`` — remote store maintenance.
 
+Codec negotiation: a client advertises what it can decompress via
+``X-SI-Codecs``; an entry stamped with a codec the client did not
+advertise is transcoded to ``identity`` for that response (the header
+is absent on pre-codec clients, which therefore always get raw
+pickles — mixed-version clusters interoperate).  Transcoding is
+deterministic, so ranged requests against a transcoded entry slice
+consistently across requests.
+
 The server moves opaque blobs: it never unpickles a payload (uploads
 get only a restricted header sanity check that cannot construct
-objects), so a malformed or hostile upload can waste one entry's disk
-space but cannot execute anything here.  *Consumers* unpickle what
-they download — the store must only be shared within a trusted
-cluster, the same trust model as a disk store on shared NFS.
+objects, and transcoding recompresses the payload *bytes* without
+unpickling them), so a malformed or hostile upload can waste one
+entry's disk space but cannot execute anything here.  *Consumers*
+unpickle what they download — the store must only be shared within a
+trusted cluster, the same trust model as a disk store on shared NFS.
 
 Writes reuse the disk store's temp-file + ``os.replace`` discipline,
 so concurrent PUTs of the same entry are idempotent and readers never
@@ -25,16 +37,17 @@ observe a torn entry.
 
 from __future__ import annotations
 
-import io
 import json
-import pickle
 import re
 import sys
 import threading
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import BinaryIO, Dict, Optional, Tuple, Union
 
+from repro.dist.envelope import (HEADER_PROBE_BYTES, available_codecs,
+                                 negotiate_codecs, plausible_envelope,
+                                 read_header, transcode)
 from repro.pipeline.store import DiskArtifactCache
 
 #: an upload larger than this is refused (413) — the biggest real
@@ -43,31 +56,50 @@ from repro.pipeline.store import DiskArtifactCache
 #: entry.
 MAX_ENTRY_BYTES = 512 * 1024 * 1024
 
+#: request/response bodies move in pieces of this size — bounds the
+#: per-request memory of uploads and ranged downloads alike
+IO_CHUNK_BYTES = 1 << 20
+
 #: ``/artifact/<kind>/<digest>`` — kind is a short identifier, digest
 #: is exactly one lowercase sha256; anything else (traversal attempts
 #: included) is a 404.
 _ARTIFACT_PATH = re.compile(
     r"^/artifact/([A-Za-z0-9_\-]{1,64})/([0-9a-f]{64})$")
 
-
-class _NoGlobalsUnpickler(pickle.Unpickler):
-    """Header sanity-checker: refuses every global lookup, so it can
-    only materialize primitive containers — never arbitrary objects."""
-
-    def find_class(self, module, name):  # pragma: no cover - guard
-        raise pickle.UnpicklingError(
-            f"envelope headers may not reference {module}.{name}")
+#: single byte range: ``bytes=a-b``, ``bytes=a-``, or ``bytes=-n``;
+#: anything else (multi-range included) is served as a full 200.
+_RANGE = re.compile(r"^bytes=(\d*)-(\d*)$")
 
 
-def _plausible_envelope(data: bytes) -> bool:
-    """True when ``data`` starts with a well-formed entry header."""
-    try:
-        header = _NoGlobalsUnpickler(io.BytesIO(data)).load()
-    except Exception:
-        return False
-    return (isinstance(header, dict)
-            and isinstance(header.get("format"), int)
-            and isinstance(header.get("key"), str))
+def _parse_range(header: Optional[str],
+                 size: int) -> Union[None, str, Tuple[int, int]]:
+    """Interpret a ``Range`` header against an entry of ``size`` bytes.
+
+    ``None`` means "serve the whole entry as 200" (no header,
+    malformed header, multi-range — both are legal per RFC 7233);
+    ``"unsatisfiable"`` means 416; a tuple is the inclusive
+    ``(first, last)`` window of a 206.
+    """
+    if not header or size <= 0:
+        return None
+    match = _RANGE.match(header.strip())
+    if match is None:
+        return None
+    first_text, last_text = match.groups()
+    if not first_text and not last_text:
+        return None
+    if not first_text:                     # suffix: last N bytes
+        suffix = int(last_text)
+        if suffix == 0:
+            return "unsatisfiable"
+        return max(0, size - suffix), size - 1
+    first = int(first_text)
+    if first >= size:
+        return "unsatisfiable"
+    last = size - 1 if not last_text else min(int(last_text), size - 1)
+    if last < first:
+        return None
+    return first, last
 
 
 class _StoreRequestHandler(BaseHTTPRequestHandler):
@@ -92,9 +124,12 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
     def _reply(self, status: int, body: bytes = b"",
                content_type: str = "text/plain; charset=utf-8",
                head_only: bool = False,
-               content_length: Optional[int] = None) -> None:
+               content_length: Optional[int] = None,
+               extra_headers: Optional[Dict[str, str]] = None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.send_header("Content-Length",
                          str(len(body) if content_length is None
                              else content_length))
@@ -115,7 +150,7 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         return (match.group(1), match.group(2)) if match else None
 
     # ------------------------------------------------------------------
-    # Routes
+    # GET: stats, health, ranged artifact downloads
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:
@@ -130,11 +165,81 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         if address is None:
             self._reply(404, b"unknown path\n")
             return
-        data = self.server.store.get_raw(*address)
-        if data is None:
+        opened = self.server.store.open_raw(*address)
+        if opened is None:
             self._reply(404, b"no such artifact\n")
             return
-        self._reply(200, data, content_type="application/octet-stream")
+        handle, size = opened
+        try:
+            self._serve_entry(handle, size)
+        finally:
+            handle.close()
+
+    def _serve_entry(self, handle: BinaryIO, size: int) -> None:
+        """Send one store entry, honouring codec negotiation and
+        single-range requests."""
+        accepted = negotiate_codecs(self.headers.get("X-SI-Codecs"))
+        probe = handle.read(min(size, HEADER_PROBE_BYTES))
+        codec = "identity"
+        parsed = read_header(probe)
+        if parsed is not None:
+            stamped = parsed[0].get("codec", "identity")
+            if isinstance(stamped, str):
+                codec = stamped
+        if codec in accepted:
+            handle.seek(0)
+            self._send_range_from(handle, size, codec)
+            return
+        # The client cannot decompress this entry's codec: transcode
+        # the envelope to identity for this response.  Deterministic,
+        # so a chunking client sees a consistent byte stream across
+        # its ranged requests.
+        data = probe + handle.read()
+        self.server.store.stats.add(bytes_read=len(data))
+        recoded = transcode(data, "identity")
+        if recoded is None:
+            # stamped with a codec this server build cannot decode —
+            # to this client the entry is unusable, i.e. absent
+            self._reply(404, b"no such artifact\n")
+            return
+        self._send_range_from(recoded, len(recoded), "identity",
+                              count_bytes=False)
+
+    def _send_range_from(self, source: Union[BinaryIO, bytes],
+                         size: int, codec: str,
+                         count_bytes: bool = True) -> None:
+        window = _parse_range(self.headers.get("Range"), size)
+        extra = {"Accept-Ranges": "bytes", "X-SI-Codec": codec}
+        if window == "unsatisfiable":
+            extra["Content-Range"] = f"bytes */{size}"
+            self._reply(416, b"range not satisfiable\n",
+                        extra_headers=extra)
+            return
+        if window is None:
+            status, first, last = 200, 0, size - 1
+        else:
+            first, last = window
+            status = 206
+            extra["Content-Range"] = f"bytes {first}-{last}/{size}"
+        length = last - first + 1 if size > 0 else 0
+        self._reply(status, head_only=True, content_length=length,
+                    content_type="application/octet-stream",
+                    extra_headers=extra)
+        if isinstance(source, bytes):
+            self.wfile.write(source[first:first + length])
+            return
+        source.seek(first)
+        remaining = length
+        sent = 0
+        while remaining > 0:
+            chunk = source.read(min(remaining, IO_CHUNK_BYTES))
+            if not chunk:        # entry replaced/shrunk concurrently;
+                break            # the client sees a short body
+            self.wfile.write(chunk)
+            sent += len(chunk)
+            remaining -= len(chunk)
+        if count_bytes:
+            self.server.store.stats.add(bytes_read=sent)
 
     def do_HEAD(self) -> None:
         path = urllib.parse.urlsplit(self.path).path
@@ -148,13 +253,18 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
             self._reply(404, head_only=True)
             return
         self._reply(200, head_only=True, content_length=size,
-                    content_type="application/octet-stream")
+                    content_type="application/octet-stream",
+                    extra_headers={"Accept-Ranges": "bytes"})
+
+    # ------------------------------------------------------------------
+    # PUT: streamed atomic uploads
+    # ------------------------------------------------------------------
 
     def do_PUT(self) -> None:
         # Every error reply below may leave unread body bytes on the
         # socket; on a keep-alive connection they would be parsed as
-        # the next request line.  Close instead of draining — a
-        # refused upload may be half a GiB.
+        # the next request line.  Close unless the body was fully
+        # consumed (or drained) — a refused upload may be half a GiB.
         self.close_connection = True
         address = self._artifact_address()
         if address is None:
@@ -174,17 +284,48 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
                 self.close_connection = False
             self._reply(413, b"entry too large\n")
             return
-        data = self.rfile.read(length)
-        if len(data) != length:
-            self._reply(400, b"truncated body\n")
-            return
-        self.close_connection = False          # body fully consumed
-        if not _plausible_envelope(data):
+        if length == 0:
+            self.close_connection = False
             self._reply(400, b"not an artifact envelope\n")
             return
-        if not self.server.store.put_raw(address[0], address[1], data):
+        writer = self.server.store.raw_writer(*address)
+        if writer is None:
+            if self._drain_body(length):
+                self.close_connection = False
             self._reply(507, b"store write failed\n")
             return
+        with writer:
+            remaining = length
+            first_chunk = True
+            while remaining:
+                chunk = self.rfile.read(min(remaining, IO_CHUNK_BYTES))
+                if not chunk:
+                    writer.abort()
+                    self._reply(400, b"truncated body\n")
+                    return
+                remaining -= len(chunk)
+                if first_chunk:
+                    first_chunk = False
+                    if not plausible_envelope(
+                            chunk[:HEADER_PROBE_BYTES]):
+                        writer.abort()
+                        if self._drain_body(remaining):
+                            self.close_connection = False
+                        self._reply(400, b"not an artifact envelope\n")
+                        return
+                try:
+                    writer.write(chunk)
+                except OSError:
+                    writer.abort()
+                    self.server.store.stats.add(write_skips=1)
+                    if self._drain_body(remaining):
+                        self.close_connection = False
+                    self._reply(507, b"store write failed\n")
+                    return
+            self.close_connection = False      # body fully consumed
+            if not writer.commit():
+                self._reply(507, b"store write failed\n")
+                return
         self._reply(204)
 
     def _drain_body(self, length: int) -> bool:
@@ -194,11 +335,15 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
             return False
         remaining = length
         while remaining:
-            chunk = self.rfile.read(min(remaining, 1 << 20))
+            chunk = self.rfile.read(min(remaining, IO_CHUNK_BYTES))
             if not chunk:
                 return False
             remaining -= len(chunk)
         return True
+
+    # ------------------------------------------------------------------
+    # POST: remote maintenance
+    # ------------------------------------------------------------------
 
     def do_POST(self) -> None:
         # same keep-alive discipline as do_PUT: never reply with body
@@ -259,12 +404,20 @@ class ArtifactServer(ThreadingHTTPServer):
         return f"http://{host}:{port}"
 
     def stats_payload(self) -> dict:
-        """The ``/stats`` body: inventory + raw request counters."""
+        """The ``/stats`` body: inventory + raw request counters.
+
+        ``by_kind`` values are ``[entries, stored_bytes, raw_bytes]``
+        triples; pre-codec clients that expect pairs read the first
+        two elements and keep working.
+        """
         inventory = self.store.report()
         return {
             "root": inventory.root,
             "entries": inventory.entries,
             "bytes": inventory.bytes,
+            "raw_bytes": inventory.raw_bytes,
+            "ratio": round(inventory.ratio, 4),
+            "codecs": list(available_codecs()),
             "by_kind": {kind: list(counts) for kind, counts
                         in inventory.by_kind.items()},
             "telemetry": self.store.stats.as_dict(),

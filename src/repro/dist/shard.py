@@ -70,16 +70,22 @@ def shard_names(names: Sequence[str], index: int,
 def shard_payload(names: Sequence[str], shard: Tuple[int, int],
                   libraries: Sequence[int], with_siegel: bool,
                   mapper_fingerprint: Optional[str],
-                  rows: Sequence, failures: Sequence[Tuple[str, str]]
-                  ) -> Dict:
+                  rows: Sequence, failures: Sequence[Tuple[str, str]],
+                  telemetry: Optional[Dict[str, int]] = None) -> Dict:
     """The JSON document of one shard run.
 
     ``rows`` are :class:`~repro.report.Table1Row` objects;
     ``mapper_fingerprint`` pins the mapper configuration (``repr`` of
     the :class:`~repro.mapping.decompose.MapperConfig`, or ``None``)
     so shards run with different CSC settings refuse to merge.
+    ``telemetry`` is this shard's aggregated cache counters
+    (``disk_*``/``remote_*`` sums over its circuits) — informational
+    for the operator reading shard files, deliberately *not* part of
+    the merge identity (two shards of one run legitimately have
+    different hit counts) and not required by readers (files from
+    pre-telemetry builds merge fine).
     """
-    return {
+    payload = {
         "schema": SHARD_SCHEMA,
         "shard": [shard[0], shard[1]],
         "names": list(names),
@@ -89,6 +95,10 @@ def shard_payload(names: Sequence[str], shard: Tuple[int, int],
         "rows": [row.to_json() for row in rows],
         "failures": [[name, error] for name, error in failures],
     }
+    if telemetry:
+        payload["telemetry"] = {key: int(value) for key, value
+                                in sorted(telemetry.items())}
+    return payload
 
 
 def write_shard(path: str, payload: Dict) -> None:

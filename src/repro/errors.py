@@ -87,3 +87,12 @@ class ShardError(ReproError):
 
 class VerificationError(ReproError):
     """A mapped circuit failed speed-independence verification."""
+
+
+class StoreConfigError(ReproError):
+    """An artifact-store configuration cannot be honoured (malformed
+    ``--cache-s3`` spec, conflicting backends, missing client library).
+
+    Unlike *runtime* store failures — which always degrade to cache
+    misses, never errors — a configuration the user explicitly asked
+    for and that cannot work is reported as a clean CLI error."""

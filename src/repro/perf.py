@@ -78,7 +78,8 @@ def run_bench(names: Sequence[str],
               jobs: Optional[int] = 1,
               progress: bool = False,
               cache_dir: Optional[str] = None,
-              cache_url: Optional[str] = None) -> Dict[str, Any]:
+              cache_url: Optional[str] = None,
+              cache_s3: Optional[str] = None) -> Dict[str, Any]:
     """Run the Table-1 battery over ``names`` and snapshot it.
 
     Serial (``jobs=1``) by default so the per-circuit wall-clock is a
@@ -89,7 +90,7 @@ def run_bench(names: Sequence[str],
     items = run_battery(names, libraries=libraries,
                         with_siegel=with_siegel, progress=progress,
                         jobs=jobs, cache_dir=cache_dir,
-                        cache_url=cache_url)
+                        cache_url=cache_url, cache_s3=cache_s3)
     total = time.perf_counter() - start
 
     circuits: List[Dict[str, Any]] = []

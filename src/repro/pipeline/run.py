@@ -135,9 +135,12 @@ class PipelineConfig:
     runs — and :class:`~repro.pipeline.batch.BatchRunner` workers —
     warm-start from previously computed artifacts; ``cache_url``
     points at a ``si-mapper serve`` daemon instead (a
-    :class:`~repro.dist.remote.RemoteArtifactCache`), and setting
-    *both* tiers a local disk write-through in front of the remote
-    store (:class:`~repro.dist.remote.TieredStore`) — the layout for
+    :class:`~repro.dist.remote.RemoteArtifactCache`) and ``cache_s3``
+    at an S3-compatible bucket spec (a :class:`~repro.dist.
+    objectstore.ObjectStoreArtifactCache` — serverless workers share
+    a cache with no daemon); a directory *plus* one shared backend
+    tiers a local disk write-through in front of the shared store
+    (:class:`~repro.dist.remote.TieredStore`) — the layout for
     sharded multi-machine runs.
     """
 
@@ -149,6 +152,7 @@ class PipelineConfig:
     local_mode: bool = False     # battery runs in "local" mode instead
     cache_dir: Optional[str] = None
     cache_url: Optional[str] = None
+    cache_s3: Optional[str] = None
 
     @property
     def modes(self) -> List[Tuple[int, str]]:
@@ -177,10 +181,12 @@ class Pipeline:
                  cache: Optional[ArtifactCache] = None):
         self.config = config or PipelineConfig()
         if cache is None and (self.config.cache_dir
-                              or self.config.cache_url):
+                              or self.config.cache_url
+                              or self.config.cache_s3):
             from repro.dist.base import make_store
             cache = ArtifactCache(disk=make_store(
-                self.config.cache_dir, self.config.cache_url))
+                self.config.cache_dir, self.config.cache_url,
+                self.config.cache_s3))
         self.cache = cache
 
     def context_of(self, source: Source) -> SynthesisContext:

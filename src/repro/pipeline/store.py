@@ -12,11 +12,13 @@ values are written back through both layers.
 It is the *local* backend of the :class:`~repro.dist.base.
 ArtifactStore` protocol; :mod:`repro.dist` adds the remote HTTP
 backend (:class:`~repro.dist.remote.RemoteArtifactCache`), the
-write-through :class:`~repro.dist.remote.TieredStore`, and the
+S3-compatible :class:`~repro.dist.objectstore.ObjectStoreArtifactCache`,
+the write-through :class:`~repro.dist.remote.TieredStore`, and the
 ``si-mapper serve`` daemon that exposes one of these stores to a
-cluster.  All backends share one wire/disk format — the *envelope* of
-:func:`encode_entry` / :func:`decode_entry` — so an entry written by a
-worker's disk store is byte-compatible with one PUT over HTTP.
+cluster.  All backends share one wire/disk format — the codec-stamped
+*envelope* of :mod:`repro.dist.envelope` — so an entry written by a
+worker's disk store is byte-compatible with one PUT over HTTP or
+filed in an object store.
 
 Safety properties:
 
@@ -27,6 +29,10 @@ Safety properties:
 * **versioned** — every entry carries the :data:`ARTIFACT_FORMATS`
   stamp of its kind; after a schema bump old entries are *ignored*
   (recomputed and overwritten), never unpickled into new code;
+* **codec-stamped** — payloads are compressed (``zlib`` by default)
+  and the envelope header records the codec, so pre-compression v1
+  entries keep hitting (codec defaults to ``identity``) and are
+  lazily re-encoded compressed on their first warm read;
 * **atomic** — writes go to a temp file in the destination directory
   and land via ``os.replace``, so concurrent readers (other worker
   processes sharing the store) see either the old complete entry or
@@ -40,35 +46,20 @@ Safety properties:
 
 from __future__ import annotations
 
-import hashlib
-import io
 import os
-import pickle
 import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import (Any, BinaryIO, Dict, Hashable, Iterable, List,
+                    Optional, Tuple)
 
-#: bump when the directory layout / envelope shape itself changes;
-#: old layout directories are ignored and reaped by ``gc``.
-STORE_LAYOUT = "v1"
-
-#: per-kind artifact format versions.  Bump a kind's version whenever
-#: the pickled schema of that artifact changes (new dataclass fields,
-#: renamed attributes, ...): entries stamped with an older version are
-#: treated as misses and overwritten on the next compute.  Kinds not
-#: listed here are never persisted.
-ARTIFACT_FORMATS: Dict[str, int] = {
-    "sg": 1,
-    # v2: the artifact is the whole CscResult (graph + steps +
-    # telemetry), not just the solved StateGraph
-    "csc": 2,
-    "implementations": 1,
-    "netlist": 1,
-    "check": 1,
-    "map": 1,
-}
+from repro.dist.envelope import (ARTIFACT_FORMATS,  # noqa: F401 -
+                                 STORE_LAYOUT,      # re-exported API
+                                 decode_entry, digest_of, encode_entry,
+                                 kind_of, raw_size_of, read_header,
+                                 resolve_codec, transcode,
+                                 HEADER_PROBE_BYTES)
 
 #: sentinel distinguishing "no entry" from a stored ``None``
 MISS = object()
@@ -78,61 +69,6 @@ MISS = object()
 #: race a concurrent PUT; unlinking its temp file would fail the
 #: upload).  Real writes finish in seconds.
 TEMP_REAP_SECONDS = 3600.0
-
-
-# ----------------------------------------------------------------------
-# Keys and the shared entry envelope
-# ----------------------------------------------------------------------
-
-def kind_of(key: Hashable) -> str:
-    """The artifact kind of a cache key (its first tuple element)."""
-    if isinstance(key, tuple) and key and isinstance(key[0], str):
-        return key[0]
-    return "misc"
-
-
-def digest_of(key: Hashable) -> str:
-    """The content address of a cache key: SHA-256 of its ``repr``."""
-    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
-
-
-def encode_entry(key: Hashable, value: Any, version: int) -> bytes:
-    """Serialize one store entry into the shared envelope.
-
-    Two concatenated pickles: a small metadata header (format stamp +
-    key repr), then the payload — so maintenance and servers can check
-    the stamp without materializing whole state graphs.  Raises
-    whatever :func:`pickle.dumps` raises on an unserializable value;
-    backends turn that into a ``write_skip``.
-    """
-    return (pickle.dumps({"format": version, "key": repr(key)},
-                         protocol=pickle.HIGHEST_PROTOCOL)
-            + pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
-
-
-def decode_entry(data: bytes, key: Hashable,
-                 expected: int) -> Tuple[str, Any]:
-    """Parse envelope bytes back into a payload.
-
-    Returns ``("hit", payload)``, ``("stale", None)`` for a wrong
-    format stamp or key repr (schema bump, digest collision), or
-    ``("error", None)`` for bytes that are not a well-formed envelope
-    (torn write survivor, alien file, incompatible interpreter).
-    Never raises.
-    """
-    stream = io.BytesIO(data)
-    try:
-        header = pickle.load(stream)
-        format_stamp = header["format"]
-        key_repr = header["key"]
-    except Exception:
-        return "error", None
-    if format_stamp != expected or key_repr != repr(key):
-        return "stale", None
-    try:
-        return "hit", pickle.load(stream)
-    except Exception:
-        return "error", None
 
 
 class _ThreadSafeCounters:
@@ -202,36 +138,120 @@ def empty_telemetry() -> Dict[str, int]:
 
 @dataclass
 class StoreReport:
-    """What ``si-mapper cache stats`` prints: on-disk inventory."""
+    """What ``si-mapper cache stats`` prints: on-disk inventory.
+
+    ``bytes`` is what the entries occupy *stored* (compressed);
+    ``raw_bytes`` is what their payloads decompress to — the spread
+    between the two is the compression the codec stamps bought.
+    ``by_kind`` maps kind -> ``(entries, stored_bytes, raw_bytes)``.
+    """
 
     root: str
     entries: int = 0
     bytes: int = 0
-    by_kind: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    raw_bytes: int = 0
+    by_kind: Dict[str, Tuple[int, int, int]] = field(
+        default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        """Overall raw/stored compression ratio (1.0 when empty)."""
+        if self.bytes <= 0 or self.raw_bytes <= 0:
+            return 1.0
+        return self.raw_bytes / self.bytes
 
     def pretty(self) -> str:
         lines = [f"artifact store at {self.root}",
-                 f"{self.entries} entries, {self.bytes} bytes"]
+                 f"{self.entries} entries, {self.bytes} bytes stored, "
+                 f"{self.raw_bytes} bytes raw "
+                 f"(compression {self.ratio:.2f}x)"]
         for kind in sorted(self.by_kind):
-            count, size = self.by_kind[kind]
+            count, stored, raw = self.by_kind[kind]
+            ratio = raw / stored if stored > 0 and raw > 0 else 1.0
             lines.append(f"{kind:>16}  {count:6d} entries  "
-                         f"{size:12d} bytes")
+                         f"{stored:12d} stored  {raw:12d} raw  "
+                         f"{ratio:6.2f}x")
         return "\n".join(lines)
 
 
+class _AtomicWriter:
+    """Stream one entry to a temp file, landing it via ``os.replace``.
+
+    The streaming analogue of the old whole-buffer write path: the
+    serve daemon feeds request-body chunks straight in, so an upload
+    never needs a whole-entry buffer server-side.  Abort (explicitly
+    or by leaving the ``with`` block uncommitted) unlinks the temp
+    file; only :meth:`commit` makes the entry visible.
+    """
+
+    def __init__(self, store: "DiskArtifactCache", path: str):
+        # may raise OSError: the caller (raw_writer) turns that into
+        # a skipped write
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        handle, self._temp_path = tempfile.mkstemp(
+            dir=directory, prefix=".tmp-", suffix=".pkl")
+        self._stream = os.fdopen(handle, "wb")
+        self._store = store
+        self._path = path
+        self._written = 0
+        self._done = False
+
+    def write(self, chunk: bytes) -> None:
+        """Append bytes; raises ``OSError`` on filesystem failure."""
+        self._stream.write(chunk)
+        self._written += len(chunk)
+
+    def commit(self) -> bool:
+        """Land the entry atomically; ``False`` (and abort) on
+        failure.  Counts the write on success."""
+        if self._done:
+            return False
+        try:
+            self._stream.close()
+            os.replace(self._temp_path, self._path)
+        except OSError:
+            self.abort()
+            self._store.stats.add(write_skips=1)
+            return False
+        self._done = True
+        self._store.stats.add(writes=1, bytes_written=self._written)
+        return True
+
+    def abort(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        try:
+            self._stream.close()
+        except OSError:
+            pass
+        DiskArtifactCache._unlink_quietly(self._temp_path)
+
+    def __enter__(self) -> "_AtomicWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.abort()                     # no-op after commit
+
+
 class DiskArtifactCache:
-    """Content-addressed, versioned pickle store under one directory.
+    """Content-addressed, versioned, codec-stamped store under one
+    directory.
 
     Instances are cheap: workers each build their own against the same
     ``root`` and coordinate purely through atomic filesystem renames.
     The root directory is created lazily on the first write, so
     read-only operations (``cache stats`` on a store that does not
     exist yet) see an empty inventory instead of a side effect or an
-    error.
+    error.  ``codec`` names the envelope codec new writes use
+    (default ``zlib``); reads accept any stamped codec, and a v1
+    (pre-codec) entry is re-encoded compressed on its first warm hit.
     """
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, codec: Optional[str] = None):
         self.root = os.path.abspath(root)
+        self.codec = resolve_codec(codec)
         self.stats = DiskStats()
 
     # ------------------------------------------------------------------
@@ -257,7 +277,10 @@ class DiskArtifactCache:
         entry is a miss.  Corrupt entries are unlinked best-effort so
         they do not cost a failed unpickle on every later run.  A hit
         refreshes the entry's mtime — ``gc(max_bytes=...)`` evicts
-        least-recently-*used*, not least-recently-written.
+        least-recently-*used*, not least-recently-written.  A hit on a
+        pre-codec v1 entry re-encodes it under this store's codec in
+        place (atomic, best-effort), migrating warm stores to the
+        compressed format one entry at a time.
         """
         expected = ARTIFACT_FORMATS.get(kind_of(key))
         if expected is None:
@@ -278,8 +301,25 @@ class DiskArtifactCache:
             self.stats.add(stale=1)
             return MISS
         self.stats.add(hits=1, bytes_read=len(data))
+        self._maybe_reencode(path, data)
         self._touch(path)
         return payload
+
+    def _maybe_reencode(self, path: str, data: bytes) -> None:
+        """Lazy v1 -> v2 migration: a warm hit on an entry with no
+        codec stamp rewrites it under this store's codec (when that
+        actually shrinks it).  Best-effort and atomic — a reader that
+        loses the race sees either complete version."""
+        if self.codec == "identity":
+            return
+        parsed = read_header(data)
+        if parsed is None or "codec" in parsed[0]:
+            return
+        recoded = transcode(data, self.codec)
+        if recoded is None or len(recoded) >= len(data):
+            return
+        if self._write_atomically(path, recoded):
+            self.stats.add(writes=1, bytes_written=len(recoded))
 
     def put(self, key: Hashable, value: Any) -> bool:
         """Persist an artifact; ``False`` if it was skipped.
@@ -291,7 +331,7 @@ class DiskArtifactCache:
         if version is None:
             return False
         try:
-            data = encode_entry(key, value, version)
+            data = encode_entry(key, value, version, codec=self.codec)
         except Exception:
             self.stats.add(write_skips=1)
             return False
@@ -323,6 +363,28 @@ class DiskArtifactCache:
         self._touch(path)
         return data
 
+    def open_raw(self, kind: str,
+                 digest: str) -> Optional[Tuple[BinaryIO, int]]:
+        """Open entry ``(kind, digest)`` for streaming reads.
+
+        Returns ``(handle, size)`` or ``None`` on a miss.  The serve
+        daemon uses this for ranged/chunked GETs, so a multi-MB
+        mapping artifact never needs a whole-entry buffer server-side.
+        Counts the hit; the caller adds ``bytes_read`` for what it
+        actually streamed (a ranged request reads less than ``size``)
+        and must close the handle.
+        """
+        path = self.raw_path(kind, digest)
+        try:
+            handle = open(path, "rb")
+            size = os.fstat(handle.fileno()).st_size
+        except OSError:
+            self.stats.add(misses=1)
+            return None
+        self.stats.add(hits=1)
+        self._touch(path)
+        return handle, size
+
     def put_raw(self, kind: str, digest: str, data: bytes) -> bool:
         """Store raw envelope bytes under ``(kind, digest)``.
 
@@ -336,6 +398,42 @@ class DiskArtifactCache:
             return False
         self.stats.add(writes=1, bytes_written=len(data))
         return True
+
+    def raw_writer(self, kind: str,
+                   digest: str) -> Optional[_AtomicWriter]:
+        """A streaming writer for entry ``(kind, digest)``, or ``None``
+        when the temp file cannot be created.
+
+        The serve daemon feeds request-body chunks in and commits at
+        the end; the same temp-file + ``os.replace`` discipline as
+        :meth:`put_raw`, without the whole-entry buffer.
+        """
+        try:
+            return _AtomicWriter(self, self.raw_path(kind, digest))
+        except OSError:
+            self.stats.add(write_skips=1)
+            return None
+
+    def put_raw_stream(self, kind: str, digest: str,
+                       chunks: Iterable[bytes]) -> bool:
+        """Store an entry from an iterable of byte chunks.
+
+        ``False`` on any filesystem failure *or* when the iterable
+        raises (a network read error mid-upload aborts the temp file,
+        never lands a torn entry).
+        """
+        writer = self.raw_writer(kind, digest)
+        if writer is None:
+            return False
+        with writer:
+            try:
+                for chunk in chunks:
+                    writer.write(chunk)
+            except (OSError, ValueError):
+                writer.abort()
+                self.stats.add(write_skips=1)
+                return False
+            return writer.commit()
 
     def has_raw(self, kind: str, digest: str) -> Optional[int]:
         """Entry size in bytes if present, else ``None`` (HTTP HEAD)."""
@@ -411,8 +509,23 @@ class DiskArtifactCache:
                     found.append((kind, os.path.join(directory, name)))
         return found
 
+    def _read_entry_header(self, path: str) -> Optional[Tuple[dict,
+                                                              int]]:
+        """The envelope header of one entry file (plus its offset), or
+        ``None`` — only :data:`HEADER_PROBE_BYTES` leading bytes are
+        read, never a payload."""
+        try:
+            with open(path, "rb") as handle:
+                probe = handle.read(HEADER_PROBE_BYTES)
+        except OSError:
+            return None
+        return read_header(probe)
+
     def report(self) -> StoreReport:
-        """Inventory of the store (entries and bytes, per kind).
+        """Inventory of the store: entries, stored vs raw bytes, per
+        kind.  Only entry *headers* are read (for the ``raw_size``
+        stamp) — a v1 entry's payload is raw pickle, so its stored
+        body length stands in for its raw size.
 
         A missing root is simply an empty store — pointing ``cache
         stats`` at a directory that does not exist yet must not fail.
@@ -423,10 +536,21 @@ class DiskArtifactCache:
                 size = os.path.getsize(path)
             except OSError:
                 continue
+            parsed = self._read_entry_header(path)
+            if parsed is None:
+                raw = size
+            else:
+                header, offset = parsed
+                raw_size = header.get("raw_size")
+                raw = (raw_size if isinstance(raw_size, int)
+                       and raw_size >= 0 else size - offset)
             report.entries += 1
             report.bytes += size
-            count, total = report.by_kind.get(kind, (0, 0))
-            report.by_kind[kind] = (count + 1, total + size)
+            report.raw_bytes += raw
+            count, stored, raw_total = report.by_kind.get(
+                kind, (0, 0, 0))
+            report.by_kind[kind] = (count + 1, stored + size,
+                                    raw_total + raw)
         return report
 
     def gc(self, max_age_seconds: Optional[float] = None,
@@ -438,8 +562,10 @@ class DiskArtifactCache:
         entries of kinds no current code persists, entries with stale
         format stamps or unreadable headers, leftover temp files, and
         (optionally) entries older than ``max_age_seconds``.  Only the
-        small metadata header of each entry is unpickled, never the
-        payload.
+        small metadata header of each entry is read, never the
+        payload — a v1 entry (no codec stamp) and a v2 one are equally
+        judged by their format stamps, so a mixed-era store is gc'd
+        without recompressing or crashing anything.
 
         With ``max_bytes``, the surviving entries are then evicted
         least-recently-used (by mtime, which :meth:`get` refreshes)
@@ -502,12 +628,8 @@ class DiskArtifactCache:
                 if age > max_age_seconds:
                     reap(path)
                     continue
-            try:
-                with open(path, "rb") as handle:
-                    header = pickle.load(handle)   # header only
-                if header["format"] != expected:
-                    reap(path)
-            except Exception:
+            parsed = self._read_entry_header(path)
+            if parsed is None or parsed[0]["format"] != expected:
                 reap(path)
         if max_bytes is not None:
             removed, freed = self._evict_lru(max_bytes, removed, freed)
@@ -574,5 +696,6 @@ class DiskArtifactCache:
 
     def __repr__(self) -> str:
         return (f"DiskArtifactCache({self.root!r}, "
+                f"codec={self.codec!r}, "
                 f"hits={self.stats.hits}, misses={self.stats.misses}, "
                 f"writes={self.stats.writes})")

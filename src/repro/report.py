@@ -113,19 +113,20 @@ def table1_row(name: str, libraries: Sequence[int] = (2, 3, 4),
                config: Optional[MapperConfig] = None,
                with_siegel: bool = True,
                cache_dir: Optional[str] = None,
-               cache_url: Optional[str] = None) -> Table1Row:
+               cache_url: Optional[str] = None,
+               cache_s3: Optional[str] = None) -> Table1Row:
     """Run the full Table-1 battery for one benchmark.
 
     One :class:`repro.pipeline.Pipeline` run: the k-battery and the
     baseline share a single reachability pass and initial synthesis.
-    With ``cache_dir`` (or a ``cache_url`` server) they also persist
-    across processes and machines.
+    With ``cache_dir`` (or a ``cache_url`` server / ``cache_s3``
+    bucket) they also persist across processes and machines.
     """
     from repro.pipeline import Pipeline, PipelineConfig
     pipeline = Pipeline(PipelineConfig(
         libraries=tuple(libraries), with_siegel=with_siegel,
         mapper=config, keep_artifacts=False, cache_dir=cache_dir,
-        cache_url=cache_url))
+        cache_url=cache_url, cache_s3=cache_s3))
     return pipeline.run(name).row
 
 
@@ -213,21 +214,22 @@ def run_battery(names: Sequence[str],
                 progress: bool = False,
                 jobs: Optional[int] = None,
                 cache_dir: Optional[str] = None,
-                cache_url: Optional[str] = None):
+                cache_url: Optional[str] = None,
+                cache_s3: Optional[str] = None):
     """Run the Table-1 battery over ``names``; the raw ``BatchItem``
     list in input order (one per circuit, errored or not).
 
     This is the layer under :func:`table1` that shard runs use
     directly — a shard file needs the failures and the exact subset,
     not just the formatted text.  With ``cache_dir`` / ``cache_url``
-    every worker warm-starts from (and feeds) the persistent or
-    remote artifact store.
+    / ``cache_s3`` every worker warm-starts from (and feeds) the
+    persistent, remote, or object-store artifact tier.
     """
     from repro.pipeline import BatchRunner, PipelineConfig
     runner = BatchRunner(PipelineConfig(
         libraries=tuple(libraries), with_siegel=with_siegel,
         mapper=config, keep_artifacts=False, cache_dir=cache_dir,
-        cache_url=cache_url), jobs=jobs)
+        cache_url=cache_url, cache_s3=cache_s3), jobs=jobs)
     callback = ((lambda name: print(f"... {name}", flush=True))
                 if progress else None)
     return runner.run(list(names), progress=callback)
@@ -256,7 +258,8 @@ def table1(names: Optional[Sequence[str]] = None,
            progress: bool = False,
            jobs: Optional[int] = None,
            cache_dir: Optional[str] = None,
-           cache_url: Optional[str] = None
+           cache_url: Optional[str] = None,
+           cache_s3: Optional[str] = None
            ) -> Tuple[List[Table1Row], str]:
     """Run the whole Table-1 experiment; returns (rows, formatted).
 
@@ -274,7 +277,7 @@ def table1(names: Optional[Sequence[str]] = None,
     items = run_battery(chosen, libraries=libraries, config=config,
                         with_siegel=with_siegel, progress=progress,
                         jobs=jobs, cache_dir=cache_dir,
-                        cache_url=cache_url)
+                        cache_url=cache_url, cache_s3=cache_s3)
     rows = [item.record.row for item in items if item.ok]
     failures = [(item.name, item.error) for item in items
                 if not item.ok]

@@ -1,0 +1,325 @@
+"""The S3-compatible backend: spec parsing, round trips against the
+in-process fake, the degrade-to-miss failure model, maintenance over
+listings, and pipeline warm starts through ``--cache-s3``."""
+
+import pytest
+
+from repro.dist.base import make_store
+from repro.dist.envelope import (ARTIFACT_FORMATS, STORE_LAYOUT,
+                                 codec_of, digest_of, encode_entry,
+                                 kind_of)
+from repro.dist.objectstore import (ObjectStoreArtifactCache,
+                                    TransportError,
+                                    parse_object_store_spec)
+from repro.dist.remote import RemoteArtifactCache, TieredStore
+from repro.dist.s3fake import FakeS3Server
+from repro.errors import StoreConfigError
+from repro.pipeline import DiskArtifactCache, Pipeline, PipelineConfig
+from repro.pipeline.store import MISS
+
+KEY = ("sg", "c" * 64)
+VALUE = {"states": ["01" * 40] * 100, "arcs": list(range(32)) * 8}
+BUCKET = "si-cache"
+PREFIX = "team"
+DEAD_SPEC = "http://127.0.0.1:1/si-cache/team"
+
+
+@pytest.fixture
+def fake():
+    with FakeS3Server(port=0).start_background() as live:
+        yield live
+
+
+@pytest.fixture
+def spec(fake):
+    return f"{fake.url}/{BUCKET}/{PREFIX}"
+
+
+@pytest.fixture
+def cache(spec):
+    return ObjectStoreArtifactCache(spec)
+
+
+class TestSpecParsing:
+    def test_bare_bucket_prefix(self):
+        assert (parse_object_store_spec("bucket/team/t1")
+                == (None, "bucket", "team/t1"))
+
+    def test_s3_scheme(self):
+        assert (parse_object_store_spec("s3://bucket/pre")
+                == (None, "bucket", "pre"))
+
+    def test_explicit_endpoint(self):
+        assert (parse_object_store_spec("http://h:9000/bucket/pre")
+                == ("http://h:9000", "bucket", "pre"))
+
+    def test_endpoint_without_prefix(self):
+        assert (parse_object_store_spec("https://host/bucket")
+                == ("https://host", "bucket", ""))
+
+    @pytest.mark.parametrize("bad", ["", "   ", "s3://", "http:///x",
+                                     "http://host"])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(StoreConfigError):
+            parse_object_store_spec(bad)
+
+    def test_bare_spec_without_boto3_is_a_config_error(self):
+        try:
+            import boto3                          # noqa: F401
+        except ImportError:
+            pass
+        else:
+            pytest.skip("boto3 is installed here")
+        with pytest.raises(StoreConfigError, match="boto3"):
+            ObjectStoreArtifactCache("bucket/prefix")
+
+
+class TestRoundTrip:
+    def test_miss_then_put_then_hit(self, cache):
+        assert cache.get(KEY) is MISS
+        assert cache.stats.misses == 1
+        assert cache.put(KEY, VALUE)
+        assert cache.get(KEY) == VALUE
+        assert cache.stats.hits == 1
+        assert cache.stats.writes == 1
+        assert cache.stats.bytes_written > 0
+        assert cache.stats.bytes_read == cache.stats.bytes_written
+
+    def test_objects_are_codec_stamped_envelopes(self, fake, cache):
+        cache.put(KEY, VALUE)
+        key = (f"{PREFIX}/{STORE_LAYOUT}/{kind_of(KEY)}"
+               f"/{digest_of(KEY)}")
+        body = fake.lookup(BUCKET, key)[0]
+        assert codec_of(body) == "zlib"
+
+    def test_same_bytes_any_backend_reads(self, fake, spec, cache):
+        """Content addressing is backend-independent: an envelope
+        uploaded through HTTP-transport S3 equals a local encode."""
+        cache.put(KEY, VALUE)
+        _, wire = cache.fetch(KEY)
+        version = ARTIFACT_FORMATS[kind_of(KEY)]
+        assert wire == encode_entry(KEY, VALUE, version, codec="zlib")
+
+    def test_stale_format_is_a_miss(self, cache, monkeypatch):
+        cache.put(KEY, VALUE)
+        monkeypatch.setitem(ARTIFACT_FORMATS, "sg",
+                            ARTIFACT_FORMATS["sg"] + 1)
+        assert cache.get(KEY) is MISS
+        assert cache.stats.stale == 1
+
+    def test_unknown_kind_never_touches_the_wire(self, cache):
+        assert cache.get(("nope", "a" * 64)) is MISS
+        assert not cache.put(("nope", "a" * 64), 1)
+        assert cache.stats.as_dict()["remote_misses"] == 0
+
+
+class TestFailureModel:
+    def test_dead_endpoint_degrades_to_miss_with_cooldown(self):
+        cache = ObjectStoreArtifactCache(DEAD_SPEC, timeout=0.5,
+                                         cooldown=60.0)
+        assert cache.get(KEY) is MISS
+        assert cache.stats.errors == 1
+        # inside the cooldown window: no second connection attempt
+        assert cache.get(KEY) is MISS
+        assert cache.stats.errors == 1
+        assert cache.stats.misses == 1
+        assert not cache.put(KEY, VALUE)
+        assert cache.stats.write_skips == 1
+
+    def test_maintenance_on_dead_endpoint_is_a_noop(self):
+        cache = ObjectStoreArtifactCache(DEAD_SPEC, timeout=0.5)
+        assert cache.gc() == (0, 0)
+        assert cache.clear() == (0, 0)
+        assert not cache.healthy()
+        report = cache.report()
+        assert report.entries == 0
+
+    def test_healthy_endpoint(self, cache):
+        assert cache.healthy()
+
+
+class TestTieredComposition:
+    def test_backfill_writes_the_wire_bytes(self, tmp_path, spec):
+        remote = ObjectStoreArtifactCache(spec)
+        remote.put(KEY, VALUE)
+        local = DiskArtifactCache(str(tmp_path / "local"))
+        tiered = TieredStore(local, ObjectStoreArtifactCache(spec))
+        assert tiered.get(KEY) == VALUE
+        # the envelope was backfilled verbatim, then re-read locally
+        assert local.stats.bytes_written > 0
+        assert local.get(KEY) == VALUE
+
+
+class TestMakeStore:
+    def test_s3_spec_builds_the_object_store(self, spec):
+        store = make_store(cache_s3=spec)
+        assert isinstance(store, ObjectStoreArtifactCache)
+
+    def test_dir_plus_s3_is_tiered(self, tmp_path, spec):
+        store = make_store(cache_dir=str(tmp_path), cache_s3=spec)
+        assert isinstance(store, TieredStore)
+        assert isinstance(store.remote, ObjectStoreArtifactCache)
+
+    def test_url_plus_s3_is_a_config_error(self, spec):
+        with pytest.raises(StoreConfigError):
+            make_store(cache_url="http://127.0.0.1:1", cache_s3=spec)
+
+    def test_url_alone_still_builds_the_remote(self):
+        store = make_store(cache_url="http://127.0.0.1:1")
+        assert isinstance(store, RemoteArtifactCache)
+
+
+def seed(fake, key, body, *, mtime=None):
+    fake.store_object(BUCKET, key, body)
+    if mtime is not None:
+        with fake._lock:
+            stored, _ = fake._objects[(BUCKET, key)]
+            fake._objects[(BUCKET, key)] = (stored, mtime)
+
+
+class TestMaintenance:
+    def test_gc_reaps_only_store_owned_layout_roots(self, fake,
+                                                    cache):
+        cache.put(KEY, VALUE)
+        seed(fake, f"{PREFIX}/v0/sg/{'a' * 64}", b"old layout")
+        seed(fake, f"{PREFIX}/v99/sg/{'b' * 64}", b"newer binary")
+        seed(fake, f"{PREFIX}/{STORE_LAYOUT}/mystery/{'c' * 64}",
+             b"unknown kind")
+        seed(fake, f"{PREFIX}/README", b"neighbour file")
+        seed(fake, "elsewhere/v1/sg/x", b"other prefix")
+        removed, freed = cache.gc()
+        assert removed == 2                    # v0 + unknown kind
+        assert freed == len(b"old layout") + len(b"unknown kind")
+        assert fake.lookup(BUCKET, f"{PREFIX}/v99/sg/{'b' * 64}")
+        assert fake.lookup(BUCKET, f"{PREFIX}/README")
+        assert fake.lookup(BUCKET, "elsewhere/v1/sg/x")
+        assert cache.get(KEY) == VALUE         # the live entry stayed
+
+    def test_gc_max_age_uses_last_modified(self, fake, spec):
+        import time
+        cache = ObjectStoreArtifactCache(spec)
+        cache.put(KEY, VALUE)
+        stale_key = f"{PREFIX}/{STORE_LAYOUT}/sg/{'d' * 64}"
+        seed(fake, stale_key, b"ancient", mtime=time.time() - 10_000)
+        removed, _ = cache.gc(max_age_seconds=3600)
+        assert removed == 1
+        assert fake.lookup(BUCKET, stale_key) is None
+        assert cache.get(KEY) == VALUE
+
+    def test_gc_size_budget_keeps_newest(self, fake, spec):
+        cache = ObjectStoreArtifactCache(spec)
+        layout = f"{PREFIX}/{STORE_LAYOUT}/sg"
+        seed(fake, f"{layout}/{'a' * 64}", b"x" * 100, mtime=100.0)
+        seed(fake, f"{layout}/{'b' * 64}", b"x" * 100, mtime=200.0)
+        seed(fake, f"{layout}/{'c' * 64}", b"x" * 100, mtime=300.0)
+        removed, freed = cache.gc(max_bytes=250)
+        assert removed == 1
+        assert freed == 100
+        assert fake.lookup(BUCKET, f"{layout}/{'a' * 64}") is None
+        assert fake.lookup(BUCKET, f"{layout}/{'c' * 64}")
+
+    def test_clear_spares_neighbour_objects(self, fake, cache):
+        cache.put(KEY, VALUE)
+        seed(fake, f"{PREFIX}/README", b"neighbour file")
+        removed, freed = cache.clear()
+        assert removed == 1
+        assert freed > 0
+        assert fake.lookup(BUCKET, f"{PREFIX}/README")
+        assert cache.get(KEY) is MISS
+
+    def test_report_counts_current_layout_only(self, fake, cache):
+        cache.put(KEY, VALUE)
+        cache.put(("map", "e" * 64, 2, "global", ()), {"area": 7})
+        seed(fake, f"{PREFIX}/v0/sg/{'a' * 64}", b"old layout")
+        report = cache.report()
+        assert report.entries == 2
+        assert set(report.by_kind) == {"sg", "map"}
+        assert report.by_kind["sg"][0] == 1
+        assert report.root == f"s3://{BUCKET}/{PREFIX}"
+        # listings carry no headers: stored stands in for raw
+        assert report.raw_bytes == report.bytes
+
+
+class TestListingPagination:
+    def test_small_pages_follow_continuation_tokens(self, fake, spec,
+                                                    monkeypatch):
+        monkeypatch.setattr("repro.dist.s3fake.MAX_KEYS_DEFAULT", 3)
+        cache = ObjectStoreArtifactCache(spec)
+        digests = [format(i, "x") * 64 for i in range(8)]
+        for digest in digests:
+            seed(fake, f"{PREFIX}/{STORE_LAYOUT}/sg/{digest[:64]}",
+                 b"x" * 10)
+        report = cache.report()
+        assert report.entries == 8
+        removed, _ = cache.clear()
+        assert removed == 8
+
+
+class _FlakyTransport:
+    """Dies with TransportError after a set number of calls."""
+
+    def __init__(self, inner, budget):
+        self._inner = inner
+        self._budget = budget
+
+    def _spend(self):
+        if self._budget <= 0:
+            raise TransportError("flaky")
+        self._budget -= 1
+
+    def get(self, key):
+        self._spend()
+        return self._inner.get(key)
+
+    def put(self, key, data):
+        self._spend()
+        self._inner.put(key, data)
+
+    def delete(self, key):
+        self._spend()
+        self._inner.delete(key)
+
+    def list(self, prefix):
+        self._spend()
+        return self._inner.list(prefix)
+
+
+class TestTransportInjection:
+    def test_transport_error_midway_stops_gc_cleanly(self, fake,
+                                                     spec):
+        from repro.dist.objectstore import _HttpTransport
+        seed(fake, f"{PREFIX}/v0/sg/{'a' * 64}", b"ten bytes!")
+        seed(fake, f"{PREFIX}/v0/sg/{'b' * 64}", b"ten bytes!")
+        inner = _HttpTransport(fake.url, BUCKET)
+        # budget 2: one list + one delete succeed, second delete dies
+        cache = ObjectStoreArtifactCache(
+            spec, transport=_FlakyTransport(inner, 2))
+        removed, freed = cache.gc()
+        assert removed == 1
+        assert freed == 10
+
+
+CONFIG = dict(libraries=(2,), with_siegel=False, keep_artifacts=False)
+
+
+class TestPipelineOverObjectStore:
+    """The acceptance path: shard workers warm-start through S3."""
+
+    def test_cold_then_warm_through_the_fake(self, spec):
+        config = PipelineConfig(cache_s3=spec, **CONFIG)
+        cold = Pipeline(config).run("half")
+        assert cold.stats["sg"] == 1
+        assert cold.stats["remote_writes"] > 0
+        warm = Pipeline(config).run("half")    # fresh memory cache
+        assert warm.stats["sg"] == 0
+        assert warm.stats["implementations"] == 0
+        assert warm.stats["map"] == 0
+        assert warm.stats["remote_hits"] > 0
+        assert warm.row == cold.row
+
+    def test_dead_object_store_never_fails_a_run(self):
+        config = PipelineConfig(cache_s3=DEAD_SPEC, **CONFIG)
+        record = Pipeline(config).run("half")
+        assert record.stats["sg"] == 1         # computed locally
+        assert record.stats["remote_hits"] == 0
+        assert record.row is not None

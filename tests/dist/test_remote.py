@@ -117,10 +117,11 @@ class TestDeadServer:
     def _raising_5xx(client, code):
         import io
 
-        def boom(method, path, data=None):
+        def boom(method, path, data=None, headers=None):
             raise urllib.error.HTTPError("url", code, "backend down",
                                          {}, io.BytesIO())
         client._request = boom
+        client._open = boom
 
     def test_5xx_opens_the_cooldown(self):
         """A broken backend behind a live proxy must back off exactly

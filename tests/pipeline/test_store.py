@@ -505,3 +505,125 @@ class TestCscArtifact:
         assert warm.row == cold.row
         assert warm.stats["signals_inserted"] == \
             cold.stats["signals_inserted"]
+
+
+def write_v1_entry(store, key, value):
+    """Plant bytes exactly as the pre-codec store wrote them: header
+    without codec/raw_size stamps, payload as a raw pickle."""
+    import pickle as _pickle
+    from repro.pipeline.store import digest_of, kind_of
+    header = {"format": ARTIFACT_FORMATS[kind_of(key)],
+              "key": repr(key)}
+    data = (_pickle.dumps(header, protocol=_pickle.HIGHEST_PROTOCOL)
+            + _pickle.dumps(value, protocol=_pickle.HIGHEST_PROTOCOL))
+    path = store.raw_path(kind_of(key), digest_of(key))
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return path, data
+
+
+class TestV1Migration:
+    """Pre-refactor stores stay warm; entries migrate lazily on hit."""
+
+    VALUE = {"states": ["0101" * 64] * 200}
+
+    def test_v1_entry_hits_and_reencodes_in_place(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        path, v1_bytes = write_v1_entry(store, KEY, self.VALUE)
+        assert store.get(KEY) == self.VALUE
+        assert store.stats.hits == 1
+        # the hit migrated the entry: smaller, codec-stamped
+        from repro.pipeline.store import read_header
+        with open(path, "rb") as handle:
+            migrated = handle.read()
+        assert len(migrated) < len(v1_bytes)
+        assert read_header(migrated)[0]["codec"] == "zlib"
+        assert store.stats.writes == 1
+        # second hit reads the v2 entry and does NOT rewrite again
+        assert store.get(KEY) == self.VALUE
+        assert store.stats.writes == 1
+
+    def test_identity_store_leaves_v1_entries_alone(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path), codec="identity")
+        path, v1_bytes = write_v1_entry(store, KEY, self.VALUE)
+        assert store.get(KEY) == self.VALUE
+        with open(path, "rb") as handle:
+            assert handle.read() == v1_bytes
+
+    def test_gc_keeps_valid_v1_entries(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        write_v1_entry(store, KEY, self.VALUE)
+        removed, _ = store.gc()
+        assert removed == 0
+        assert store.get(KEY) == self.VALUE
+
+    def test_report_reads_v1_raw_size_from_the_body(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        _, v1_bytes = write_v1_entry(store, KEY, self.VALUE)
+        report = store.report()
+        assert report.entries == 1
+        assert report.bytes == len(v1_bytes)
+        assert report.raw_bytes < report.bytes   # payload < envelope
+
+    def test_warm_pipeline_from_v1_store_computes_nothing(self,
+                                                          tmp_path):
+        """The acceptance criterion: a store written before this
+        refactor still warm-starts the pipeline."""
+        from dataclasses import replace
+        config = replace(BATTERY, cache_dir=str(tmp_path))
+        cold = Pipeline(config).run("half")
+        assert cold.stats["sg"] == 1
+        # rewrite every entry as its v1 (pre-codec) equivalent
+        store = DiskArtifactCache(str(tmp_path))
+        rewritten = 0
+        for _, path in store._entries():
+            from repro.pipeline.store import (decode_entry,
+                                              read_header)
+            with open(path, "rb") as handle:
+                data = handle.read()
+            header, offset = read_header(data)
+            v1_header = {"format": header["format"],
+                         "key": header["key"]}
+            if "codec" in header:
+                import zlib as _zlib
+                payload = (_zlib.decompress(data[offset:])
+                           if header["codec"] == "zlib"
+                           else data[offset:])
+            else:
+                payload = data[offset:]
+            with open(path, "wb") as handle:
+                handle.write(pickle.dumps(
+                    v1_header, protocol=pickle.HIGHEST_PROTOCOL)
+                    + payload)
+            rewritten += 1
+        assert rewritten > 0
+        warm = Pipeline(config).run("half")
+        assert warm.stats["sg"] == 0
+        assert warm.stats["implementations"] == 0
+        assert warm.stats["map"] == 0
+        assert warm.stats["disk_hits"] > 0
+        assert warm.row == cold.row
+
+
+class TestCompressionRatio:
+    """The acceptance criterion: >= 2x on state-graph artifacts."""
+
+    def test_sg_artifacts_compress_at_least_2x(self, tmp_path):
+        from dataclasses import replace
+        config = replace(BATTERY, cache_dir=str(tmp_path))
+        for name in ("alloc-outbound", "chu133", "chu150"):
+            Pipeline(config).run(name)
+        report = DiskArtifactCache(str(tmp_path)).report()
+        count, stored, raw = report.by_kind["sg"]
+        assert count == 3
+        assert raw >= 2 * stored
+        # and the overall ratio survives the pretty-printer
+        assert "compression" in report.pretty()
+
+    def test_ratio_is_visible_per_kind(self, tmp_path):
+        store = DiskArtifactCache(str(tmp_path))
+        store.put(KEY, {"states": ["0101" * 64] * 200})
+        pretty = store.report().pretty()
+        assert any(line.split()[:1] == ["sg"]
+                   for line in pretty.splitlines())
