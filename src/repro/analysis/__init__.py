@@ -1,0 +1,27 @@
+"""``repro.analysis`` — the si-mapper static analyzer.
+
+An AST rule engine that lints the repo's own source for the bug
+classes its history actually produced: nondeterministic iteration
+reaching output (the PR-2 cover bug), unlocked shared-state mutation
+in the threaded artifact server, pickle deserialization outside the
+one restricted loader, and silent over-broad degradation handlers.
+
+Entry points: :func:`lint_paths` / :func:`lint_source` for
+programmatic use, ``si-mapper lint`` on the command line, and the CI
+gate comparing against the committed ``lint-baseline.json``.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.engine import (iter_source_files, lint_paths,
+                                   lint_source)
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.rules import (Rule, all_rule_ids, all_rules,
+                                  describe_rules, register,
+                                  select_rules)
+
+__all__ = [
+    "Baseline", "BaselineEntry", "Finding", "Rule",
+    "all_rule_ids", "all_rules", "describe_rules",
+    "iter_source_files", "lint_paths", "lint_source",
+    "register", "select_rules", "sort_findings",
+]

@@ -1,0 +1,141 @@
+"""The accepted-findings baseline: old debt doesn't block, new debt
+does.
+
+A freshly wired lint gate on a living repo has two bad options:
+fix every historical finding in the same PR (scope explosion), or
+start with an empty rule set (no protection).  The baseline is the
+third: a committed ``lint-baseline.json`` listing each *accepted*
+finding with a human justification.  CI compares the current run
+against it — findings matching a baseline entry are reported as
+accepted and don't fail the gate; anything new does.
+
+Entries are keyed by ``(rule, path, code)`` where ``code`` is the
+stripped source line of the finding — stable across unrelated edits
+that shift line numbers, invalidated exactly when the flagged line
+itself changes (at which point the author should re-justify or fix).
+Each key carries a ``count`` so one justification can cover a line
+flagged several times (e.g. two identical guards in one function),
+while an *additional* occurrence of the same pattern still surfaces
+as new.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.findings import Finding, sort_findings
+
+VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+def _key(finding: Finding) -> Key:
+    return (finding.rule, finding.path, finding.code)
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    code: str
+    count: int = 1
+    justification: str = ""
+
+    @property
+    def key(self) -> Key:
+        return (self.rule, self.path, self.code)
+
+    def to_json(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path,
+                "code": self.code, "count": self.count,
+                "justification": self.justification}
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "BaselineEntry":
+        return cls(rule=str(payload["rule"]),
+                   path=str(payload["path"]),
+                   code=str(payload.get("code", "")),
+                   count=int(payload.get("count", 1)),
+                   justification=str(payload.get("justification", "")))
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ValueError(f"{path}: not a lint baseline "
+                             "(missing 'entries')")
+        version = payload.get("version")
+        if version != VERSION:
+            raise ValueError(f"{path}: unsupported baseline version "
+                             f"{version!r} (expected {VERSION})")
+        entries = [BaselineEntry.from_json(item)
+                   for item in payload["entries"]]
+        return cls(entries=entries)
+
+    def save(self, path: str) -> None:
+        ordered = sorted(self.entries,
+                         key=lambda e: (e.path, e.rule, e.code))
+        payload = {"version": VERSION,
+                   "entries": [e.to_json() for e in ordered]}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    # ------------------------------------------------------------------
+
+    def split(self, findings: Iterable[Finding]
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition into ``(new, accepted)`` against this baseline.
+
+        Each baseline entry absorbs up to ``count`` findings with its
+        key; the overflow — and every unmatched finding — is new.
+        """
+        allowance: Dict[Key, int] = {}
+        for entry in self.entries:
+            allowance[entry.key] = (allowance.get(entry.key, 0)
+                                    + entry.count)
+        new: List[Finding] = []
+        accepted: List[Finding] = []
+        for finding in sort_findings(findings):
+            key = _key(finding)
+            if allowance.get(key, 0) > 0:
+                allowance[key] -= 1
+                accepted.append(finding)
+            else:
+                new.append(finding)
+        return new, accepted
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding],
+                      previous: Optional["Baseline"] = None
+                      ) -> "Baseline":
+        """A baseline accepting exactly ``findings``, carrying over
+        justifications from ``previous`` where the key survives."""
+        carried: Dict[Key, str] = {}
+        if previous is not None:
+            for entry in previous.entries:
+                if entry.justification:
+                    carried[entry.key] = entry.justification
+        counts: Dict[Key, int] = {}
+        for finding in findings:
+            counts[_key(finding)] = counts.get(_key(finding), 0) + 1
+        entries = [
+            BaselineEntry(rule=rule, path=path, code=code, count=count,
+                          justification=carried.get(
+                              (rule, path, code), "TODO: justify"))
+            for (rule, path, code), count in sorted(counts.items(),
+                                                    key=lambda kv:
+                                                    (kv[0][1],
+                                                     kv[0][0],
+                                                     kv[0][2]))
+        ]
+        return cls(entries=entries)

@@ -1,0 +1,132 @@
+"""The lint engine: files in, findings out.
+
+Orchestrates one run: enumerate source files (in sorted order — the
+engine holds itself to the determinism contract it enforces), parse,
+walk each module with the registered rules, apply inline
+suppressions, and return findings in a stable sort order.
+
+Inline suppressions use the flagged *physical line*::
+
+    value = shared_set.pop()  # si-lint: disable=det-unsorted-iteration
+
+A bare ``# si-lint: disable`` (no ``=``) suppresses every rule on
+that line.  Suppressions are for reviewed, justified exceptions in
+*new* code; pre-existing accepted findings belong in the baseline
+file instead, where the justification is visible in one place.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.rules import Rule, all_rules
+from repro.analysis.walker import LintContext, Walker
+
+#: inline suppression marker, matched against the flagged source line
+_SUPPRESS = re.compile(
+    r"#\s*si-lint:\s*disable(?:\s*=\s*([A-Za-z0-9_,\-\s]+))?")
+
+#: directories never descended into
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache",
+              ".eggs"}
+
+#: build-artifact directory names — skipped only when they are not
+#: Python packages (``repro.dist`` is a package named ``dist``)
+_ARTIFACT_DIRS = {"build", "dist"}
+
+
+def _skip_dir(dirpath: str, name: str) -> bool:
+    if name in _SKIP_DIRS:
+        return True
+    if name in _ARTIFACT_DIRS:
+        return not os.path.isfile(
+            os.path.join(dirpath, name, "__init__.py"))
+    return False
+
+
+def _suppressed_rules(line: str) -> Optional[Iterable[str]]:
+    """Rule ids suppressed on ``line``: ``None`` when unsuppressed,
+    an empty tuple for a blanket ``disable``."""
+    match = _SUPPRESS.search(line)
+    if match is None:
+        return None
+    if match.group(1) is None:
+        return ()
+    return tuple(part.strip() for part in match.group(1).split(",")
+                 if part.strip())
+
+
+def _apply_suppressions(findings: Iterable[Finding],
+                        lines: Sequence[str]) -> List[Finding]:
+    kept: List[Finding] = []
+    for finding in findings:
+        if 1 <= finding.line <= len(lines):
+            rules = _suppressed_rules(lines[finding.line - 1])
+            if rules is not None and (rules == ()
+                                      or finding.rule in rules):
+                continue
+        kept.append(finding)
+    return kept
+
+
+def lint_source(source: str, path: str,
+                rules: Optional[Sequence[Rule]] = None
+                ) -> List[Finding]:
+    """Lint one module's source text.
+
+    A file that does not parse yields a single ``parse-error``
+    finding rather than crashing the run — CI should report it next
+    to the real findings, not as a traceback.
+    """
+    active = tuple(rules) if rules is not None else all_rules()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [Finding(rule="parse-error", path=path,
+                        line=error.lineno or 1,
+                        col=(error.offset or 0) + 1,
+                        severity="error",
+                        message=f"file does not parse: {error.msg}",
+                        hint="", code="")]
+    ctx = LintContext(path=path, source=source, tree=tree)
+    findings = Walker(ctx, active).run()
+    return sort_findings(_apply_suppressions(findings, ctx.lines))
+
+
+def iter_source_files(root: str) -> Iterator[str]:
+    """Every ``.py`` file under ``root``, in sorted traversal order."""
+    if os.path.isfile(root):
+        yield root
+        return
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if not _skip_dir(dirpath, d)]
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def lint_paths(paths: Sequence[str],
+               rules: Optional[Sequence[Rule]] = None,
+               root: Optional[str] = None) -> List[Finding]:
+    """Lint files/trees; finding paths are ``root``-relative POSIX
+    (matching the committed baseline whatever the invocation cwd)."""
+    base = os.path.abspath(root) if root else os.getcwd()
+    findings: List[Finding] = []
+    for path in paths:
+        for filename in iter_source_files(path):
+            absolute = os.path.abspath(filename)
+            try:
+                relative = os.path.relpath(absolute, base)
+            except ValueError:          # different drive (windows)
+                relative = absolute
+            display = relative.replace(os.sep, "/")
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            findings.extend(lint_source(source, display, rules))
+    return sort_findings(findings)

@@ -1,0 +1,82 @@
+"""Structured findings emitted by the static analyzer.
+
+A :class:`Finding` is one rule violation at one source location.  It
+carries everything the three consumers need:
+
+* the **CLI** renders ``path:line:col: severity rule: message`` plus an
+  optional fix hint;
+* the **JSON report** (``si-mapper lint --json``) serializes findings
+  verbatim for CI artifacts;
+* the **baseline** (:mod:`repro.analysis.baseline`) fingerprints a
+  finding by ``(rule, path, code)`` — ``code`` is the stripped source
+  text of the flagged line, so accepted findings survive unrelated
+  line-number drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+#: the two severity levels, in decreasing order of gravity.  ``error``
+#: findings violate the determinism/safety contract outright;
+#: ``warning`` findings are suspicious patterns that need either a fix
+#: or a justified baseline entry.
+SEVERITIES: Tuple[str, ...] = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    severity: str
+    message: str
+    hint: str = ""
+    #: stripped source text of the flagged line — the baseline
+    #: fingerprint component that survives line-number drift
+    code: str = field(default="", compare=False)
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self, show_hint: bool = True) -> str:
+        """The human-readable report line(s) for this finding."""
+        text = (f"{self.location}: {self.severity} "
+                f"{self.rule}: {self.message}")
+        if show_hint and self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+            "hint": self.hint,
+            "code": self.code,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Finding":
+        return cls(rule=str(data["rule"]), path=str(data["path"]),
+                   line=int(data["line"]), col=int(data["col"]),
+                   severity=str(data["severity"]),
+                   message=str(data["message"]),
+                   hint=str(data.get("hint", "")),
+                   code=str(data.get("code", "")))
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Findings in stable report order (path, line, column, rule)."""
+    return sorted(findings, key=Finding.sort_key)

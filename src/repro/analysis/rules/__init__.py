@@ -1,0 +1,94 @@
+"""The pluggable rule registry of the static analyzer.
+
+A rule is a small object that subscribes to AST node types
+(:attr:`Rule.interests`) and yields
+:class:`~repro.analysis.findings.Finding` objects from :meth:`Rule.
+check`.  Rules register themselves with the :func:`register` decorator
+at import time; the four built-in families — determinism, concurrency,
+pickle safety, degradation hygiene — are imported at the bottom of
+this module, so ``from repro.analysis.rules import all_rules`` always
+sees the full set.  A rule may emit under more than one rule *id*
+(:attr:`Rule.ids`) when one mechanism covers sibling bug classes
+(e.g. unsorted ``set`` iteration vs unsorted directory listings).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (TYPE_CHECKING, Dict, Iterator, List, Tuple, Type,
+                    TypeVar)
+
+from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:                         # pragma: no cover - typing
+    from repro.analysis.walker import LintContext
+
+
+class Rule:
+    """Base class: subscribe to node types, yield findings."""
+
+    #: every rule id this instance may emit under
+    ids: Tuple[str, ...] = ()
+    #: one-line description per id (``lint --list-rules``)
+    descriptions: Dict[str, str] = {}
+    #: AST node types dispatched to :meth:`check`
+    interests: Tuple[Type[ast.AST], ...] = ()
+
+    def check(self, node: ast.AST,
+              ctx: "LintContext") -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover - unreachable
+
+
+_REGISTRY: List[Rule] = []
+
+RuleType = TypeVar("RuleType", bound=Type[Rule])
+
+
+def register(cls: RuleType) -> RuleType:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    _REGISTRY.append(cls())
+    return cls
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, in registration (= import) order."""
+    return tuple(_REGISTRY)
+
+
+def all_rule_ids() -> Tuple[str, ...]:
+    """Every rule id, sorted."""
+    ids: List[str] = []
+    for rule in _REGISTRY:
+        ids.extend(rule.ids)
+    return tuple(sorted(ids))
+
+
+def describe_rules() -> Dict[str, str]:
+    """Rule id → one-line description, for ``lint --list-rules``."""
+    table: Dict[str, str] = {}
+    for rule in _REGISTRY:
+        table.update(rule.descriptions)
+    return table
+
+
+def select_rules(ids: Tuple[str, ...]) -> Tuple[Rule, ...]:
+    """The rules emitting any of ``ids``; unknown ids raise
+    ``ValueError`` (a CLI usage error, not a crash)."""
+    known = set(all_rule_ids())
+    unknown = sorted(set(ids) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown rule ids: {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})")
+    wanted = set(ids)
+    return tuple(rule for rule in _REGISTRY
+                 if wanted.intersection(rule.ids))
+
+
+# rule families register themselves on import — keep these at the
+# bottom so the decorator and base class exist first
+from repro.analysis.rules import concurrency      # noqa: E402,F401
+from repro.analysis.rules import degradation      # noqa: E402,F401
+from repro.analysis.rules import determinism      # noqa: E402,F401
+from repro.analysis.rules import pickle_safety    # noqa: E402,F401

@@ -1,0 +1,301 @@
+"""Determinism rules: unordered iteration must not reach output.
+
+The reproduction's central contract is byte-identical output across
+hash seeds, hosts and filesystems.  Two historical bug classes broke
+it:
+
+* **unsorted set iteration** feeding a decision or an output — the
+  PR-2 bug: ``_monotonicity_violation`` returned the *first* violating
+  quiescent state it saw while iterating a ``set``, so the chosen
+  cover depended on ``PYTHONHASHSEED``;
+* **directory-order filesystem listings** (``os.listdir``, ``os.walk``,
+  ``glob``) feeding an inventory or report — stable on one machine,
+  different on the next.
+
+``det-unsorted-iteration`` / ``det-unsorted-listing`` flag loops,
+comprehensions and materializations whose *source* is locally provable
+as unordered (see :mod:`repro.analysis.scopes`) and whose *sink* is
+order-sensitive: building a list or string, yielding, printing,
+writing, or first-match selection (``return``/``break``).  Loops whose
+body only aggregates order-insensitively (``max``, counting,
+``set.add``) are deliberately not flagged, and an appended list that
+the same scope later ``sorted(...)``s is recognized as sanitized.
+
+``det-impure-key`` flags nondeterministic sources (``time``,
+``random``, ``uuid``, ``id()``, ``os.urandom``) inside functions whose
+name says they build cache keys, digests or envelopes — a value from
+any of these in a content address silently forks the store.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis import scopes
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+
+#: appending/writing methods: inside a loop over an unordered source
+#: they lay elements down in iteration order
+_APPENDISH = {"append", "extend", "insert", "appendleft", "write",
+              "writelines"}
+
+#: call names whose result is order-insensitive — consuming an
+#: unordered iterable through these is fine
+_INSENSITIVE_CONSUMERS = {"sorted", "set", "frozenset", "sum", "min",
+                          "max", "any", "all", "len", "Counter"}
+
+#: call names that materialize their argument in iteration order
+_SENSITIVE_CONSUMERS = {"list", "tuple", "enumerate", "iter", "next",
+                        "reversed"}
+
+_SOURCE_LABEL = {
+    scopes.SET: ("det-unsorted-iteration", "set"),
+    scopes.LISTING: ("det-unsorted-listing",
+                     "directory-order listing"),
+}
+
+_SORT_HINT = ("wrap the iterable in sorted(...) — or sort the "
+              "collected result before it escapes")
+
+
+def _describe(node: ast.AST) -> str:
+    name = scopes.dotted_name(node)
+    if name is not None:
+        return f"'{name}'"
+    if isinstance(node, ast.Call):
+        callee = scopes.dotted_name(node.func)
+        return f"'{callee}(...)'" if callee else "expression"
+    return "expression"
+
+
+def _loop_targets(target: ast.AST) -> Tuple[str, ...]:
+    names = []
+    for sub in ast.walk(target):
+        if isinstance(sub, ast.Name):
+            names.append(sub.id)
+    return tuple(names)
+
+
+class _LoopScan:
+    """Order-sensitivity scan over one loop body."""
+
+    def __init__(self, loop: ast.For, ctx) -> None:
+        self.loop = loop
+        self.ctx = ctx
+        self.targets = set(_loop_targets(loop.target))
+
+    def _body_nodes(self) -> Iterator[ast.AST]:
+        stack: list = list(self.loop.body) + list(self.loop.orelse)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _sorts_own_target(self) -> bool:
+        """``for root, dirs, files in os.walk(...): dirs.sort()`` —
+        the loop repairs its own traversal order."""
+        for node in self._body_nodes():
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "sort"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in self.targets):
+                return True
+        return False
+
+    def sink(self) -> Optional[str]:
+        """A description of the first order-sensitive sink in the loop
+        body, or ``None`` when the body is order-insensitive."""
+        if self._sorts_own_target():
+            return None
+        for node in self._body_nodes():
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return "yields elements in iteration order"
+            if isinstance(node, ast.Return):
+                if node.value is not None and not isinstance(
+                        node.value, ast.Constant):
+                    return "returns the first match"
+            if isinstance(node, ast.Break):
+                return "selects the first match (break)"
+            if isinstance(node, ast.Call):
+                if (isinstance(node.func, ast.Name)
+                        and node.func.id == "print"):
+                    return "prints in iteration order"
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _APPENDISH):
+                    receiver = node.func.value
+                    if (isinstance(receiver, ast.Name)
+                            and self.ctx.sanitized(receiver.id)):
+                        continue
+                    return (f"builds ordered output via "
+                            f".{node.func.attr}(...)")
+        return None
+
+
+@register
+class UnsortedIterationRule(Rule):
+    """Unordered iteration (set / directory listing) reaching an
+    order-sensitive sink."""
+
+    ids = ("det-unsorted-iteration", "det-unsorted-listing")
+    descriptions = {
+        "det-unsorted-iteration":
+            "set/frozenset iterated into ordered output, a first-match "
+            "decision, or a materialized sequence without sorted()",
+        "det-unsorted-listing":
+            "os.listdir/os.walk/glob results used in directory order "
+            "(host- and filesystem-dependent)",
+    }
+    interests = (ast.For, ast.ListComp, ast.GeneratorExp, ast.Call)
+
+    def check(self, node: ast.AST, ctx) -> Iterator[Finding]:
+        if isinstance(node, ast.For):
+            yield from self._check_loop(node, ctx)
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            yield from self._check_comprehension(node, ctx)
+        elif isinstance(node, ast.Call):
+            yield from self._check_call(node, ctx)
+
+    # ------------------------------------------------------------------
+
+    def _classify(self, ctx, node: Optional[ast.AST]
+                  ) -> Optional[Tuple[str, str]]:
+        tag = ctx.infer(node)
+        return _SOURCE_LABEL.get(tag)
+
+    def _check_loop(self, node: ast.For, ctx) -> Iterator[Finding]:
+        source = self._classify(ctx, node.iter)
+        if source is None:
+            return
+        sink = _LoopScan(node, ctx).sink()
+        if sink is None:
+            return
+        rule_id, label = source
+        yield ctx.finding(
+            node, rule_id, "error",
+            f"iteration over {label} {_describe(node.iter)} {sink} — "
+            f"order depends on "
+            f"{'the hash seed' if rule_id.endswith('iteration') else 'the filesystem'}",
+            _SORT_HINT)
+
+    def _consumer_name(self, ctx, node: ast.AST) -> Optional[str]:
+        consumer = ctx.consumer_call(node)
+        if consumer is None:
+            return None
+        if isinstance(consumer.func, ast.Attribute):
+            return consumer.func.attr
+        return scopes.dotted_name(consumer.func)
+
+    def _sanitized_source(self, ctx, node: ast.AST) -> bool:
+        """The expression is a name whose order this scope visibly
+        repairs later (``name.sort()`` / ``sorted(name)``)."""
+        return (isinstance(node, ast.Name)
+                and ctx.sanitized(node.id))
+
+    def _check_comprehension(self, node, ctx) -> Iterator[Finding]:
+        source = self._classify(ctx, node.generators[0].iter)
+        if source is None:
+            return
+        if self._sanitized_source(ctx, node.generators[0].iter):
+            return
+        rule_id, label = source
+        consumer = self._consumer_name(ctx, node)
+        if isinstance(node, ast.GeneratorExp):
+            # a generator only observes order through a sensitive
+            # consumer; unknown consumers are given the benefit of
+            # the doubt
+            if consumer not in _SENSITIVE_CONSUMERS and (
+                    consumer != "join"):
+                return
+        else:
+            if consumer in _INSENSITIVE_CONSUMERS:
+                return
+        what = ("generator consumed in iteration order"
+                if isinstance(node, ast.GeneratorExp)
+                else "list built in iteration order")
+        yield ctx.finding(
+            node, rule_id, "error",
+            f"{what} from {label} "
+            f"{_describe(node.generators[0].iter)}", _SORT_HINT)
+
+    def _check_call(self, node: ast.Call, ctx) -> Iterator[Finding]:
+        func = node.func
+        # set.pop() removes an arbitrary (hash-order) element
+        if (isinstance(func, ast.Attribute) and func.attr == "pop"
+                and not node.args
+                and ctx.infer(func.value) == scopes.SET):
+            yield ctx.finding(
+                node, "det-unsorted-iteration", "error",
+                f"set.pop() on {_describe(func.value)} removes an "
+                "arbitrary element — hash-seed dependent",
+                "pop from a sorted list, or select min()/max()")
+            return
+        name = (func.id if isinstance(func, ast.Name) else
+                func.attr if isinstance(func, ast.Attribute) else None)
+        if name not in _SENSITIVE_CONSUMERS and name != "join":
+            return
+        if not node.args:
+            return
+        argument = node.args[0]
+        if isinstance(argument, (ast.ListComp, ast.GeneratorExp,
+                                 ast.SetComp)):
+            return            # handled by the comprehension check
+        source = self._classify(ctx, argument)
+        if source is None:
+            return
+        if self._sanitized_source(ctx, argument):
+            return
+        if self._consumer_name(ctx, node) in _INSENSITIVE_CONSUMERS:
+            return            # e.g. sorted(list(some_set))
+        rule_id, label = source
+        yield ctx.finding(
+            node, rule_id, "error",
+            f"'{name}(...)' materializes {label} "
+            f"{_describe(argument)} in iteration order", _SORT_HINT)
+
+
+#: functions whose name promises a stable identity — content keys,
+#: digests, envelope headers, host fingerprints
+_KEYISH = re.compile(r"(?i)(key|digest|envelope|fingerprint)")
+
+#: nondeterministic value sources that must never feed such identities
+_IMPURE_PREFIXES = ("time.", "random.", "uuid.", "secrets.")
+_IMPURE_EXACT = {"id", "os.urandom", "os.getpid", "object"}
+
+
+@register
+class ImpureKeyRule(Rule):
+    """Nondeterministic sources inside key/digest/envelope builders."""
+
+    ids = ("det-impure-key",)
+    descriptions = {
+        "det-impure-key":
+            "time/random/uuid/id()/urandom inside a cache-key, digest "
+            "or envelope constructor — forks the content address",
+    }
+    interests = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        qualname = ctx.qualname()
+        if qualname == "<module>" or not _KEYISH.search(qualname):
+            return
+        name = scopes.dotted_name(node.func)
+        if name is None:
+            return
+        if not (name in _IMPURE_EXACT
+                or name.startswith(_IMPURE_PREFIXES)):
+            return
+        yield ctx.finding(
+            node, "det-impure-key", "error",
+            f"nondeterministic source '{name}' inside "
+            f"'{qualname}' — cache keys and envelopes must be pure "
+            "functions of content",
+            "derive the value from the artifact's content (or pass "
+            "it in explicitly)")

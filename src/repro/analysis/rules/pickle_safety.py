@@ -1,0 +1,75 @@
+"""Pickle-safety rule: one sanctioned deserialization site.
+
+Unpickling attacker-controlled bytes is arbitrary code execution.
+The repo's answer (PR 7) is a single restricted loader —
+``_NoGlobalsUnpickler`` in ``repro/dist/envelope.py`` — that refuses
+every global lookup, plus one legacy-format ``pickle.loads`` in the
+same module, fenced by the envelope's integrity digest.  Everything
+else goes through the envelope codec API.
+
+``pickle-unrestricted-load`` flags any other call to
+``pickle.load``/``pickle.loads``/``pickle.Unpickler`` (and the
+``cPickle``/``dill`` spellings), and any ``Unpickler`` subclass
+defined outside the sanctioned module — so a new deserialization
+site cannot slip in without an explicit, reviewed suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+from repro.analysis.scopes import dotted_name
+
+#: the one module allowed to touch pickle directly
+_SANCTIONED_SUFFIX = "repro/dist/envelope.py"
+
+_LOAD_CALLS = {
+    "pickle.load", "pickle.loads", "pickle.Unpickler",
+    "cPickle.load", "cPickle.loads", "cPickle.Unpickler",
+    "dill.load", "dill.loads",
+}
+
+_HINT = ("deserialize through repro.dist.envelope (the restricted "
+         "_NoGlobalsUnpickler) instead of raw pickle")
+
+
+def _sanctioned(path: str) -> bool:
+    return path.replace("\\", "/").endswith(_SANCTIONED_SUFFIX)
+
+
+@register
+class UnrestrictedPickleRule(Rule):
+    """pickle deserialization outside ``repro/dist/envelope.py``."""
+
+    ids = ("pickle-unrestricted-load",)
+    descriptions = {
+        "pickle-unrestricted-load":
+            "pickle.load(s)/Unpickler outside repro/dist/envelope.py "
+            "— unpickling untrusted bytes is arbitrary code execution",
+    }
+    interests = (ast.Call, ast.ClassDef)
+
+    def check(self, node: ast.AST, ctx) -> Iterator[Finding]:
+        if _sanctioned(ctx.path):
+            return
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in _LOAD_CALLS:
+                yield ctx.finding(
+                    node, "pickle-unrestricted-load", "error",
+                    f"'{name}(...)' outside the sanctioned "
+                    "deserialization module — unpickling untrusted "
+                    "bytes executes arbitrary code", _HINT)
+        elif isinstance(node, ast.ClassDef):
+            for base in node.bases:
+                base_name = dotted_name(base)
+                if (base_name is not None
+                        and base_name.split(".")[-1] == "Unpickler"):
+                    yield ctx.finding(
+                        node, "pickle-unrestricted-load", "error",
+                        f"Unpickler subclass '{node.name}' outside "
+                        "the sanctioned deserialization module",
+                        _HINT)

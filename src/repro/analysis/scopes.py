@@ -1,0 +1,202 @@
+"""Scope tracking and dataflow-lite type inference for the analyzer.
+
+The determinism rules need to answer one question cheaply: *does this
+expression produce values in a nondeterministic order?*  Full dataflow
+is overkill; a local, assignment-following lattice is enough to catch
+the real historical bugs (an unsorted ``set`` feeding a cover decision,
+an ``os.walk`` feeding the store inventory) without drowning the report
+in speculation about parameters and attributes:
+
+* :data:`SET` — a ``set``/``frozenset`` value: literals, ``set(...)``
+  calls, set comprehensions, set operators (``| & ^ -``), set-returning
+  methods on set receivers;
+* :data:`LISTING` — a filesystem enumeration in directory order:
+  ``os.listdir``/``os.scandir``/``os.walk``, ``glob.glob``/``iglob``,
+  ``Path.iterdir``/``glob``/``rglob``;
+* :data:`ORDERED` — explicitly sorted (``sorted(...)``);
+* :data:`UNKNOWN` — everything else, including parameters and
+  attributes.  Unknown never fires a rule: the analyzer only flags what
+  it can locally *prove* is unordered, which keeps precision high and
+  the baseline small.
+
+Name bindings are resolved per scope (function or module) by a single
+sequential pass; a name assigned conflicting tags degrades to
+:data:`UNKNOWN`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Union
+
+SET = "set"
+LISTING = "listing"
+ORDERED = "ordered"
+UNKNOWN = "unknown"
+
+#: module-level callables that enumerate a directory in filesystem
+#: order (nondeterministic across hosts/filesystems, the bug class the
+#: store inventory hit)
+LISTING_FUNCTIONS: Set[str] = {
+    "os.listdir", "os.scandir", "os.walk",
+    "glob.glob", "glob.iglob",
+}
+
+#: methods that enumerate a directory whatever the receiver
+#: (``Path.iterdir()``, ``Path.glob()``, ...)
+LISTING_METHODS: Set[str] = {"iterdir", "glob", "rglob", "scandir"}
+
+#: set methods that return another set when the receiver is one
+SET_METHODS: Set[str] = {"union", "intersection", "difference",
+                         "symmetric_difference", "copy"}
+
+ScopeNode = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef,
+                  ast.Lambda]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """The identifier chain of an attribute/subscript target.
+
+    ``self.server.jobs[k]`` → ``["self", "server", "jobs"]``;
+    ``store.stats.hits`` → ``["store", "stats", "hits"]``; ``None``
+    when the chain is not rooted at a plain name (calls, literals).
+    """
+    parts: List[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return list(reversed(parts))
+        else:
+            return None
+
+
+def scope_statements(scope: ScopeNode) -> Iterator[ast.AST]:
+    """Every node of ``scope``'s own body, *excluding* nested function
+    and class bodies (those are separate scopes)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def infer(node: Optional[ast.AST],
+          bindings: Dict[str, str]) -> str:
+    """The order-determinism tag of an expression (see module doc)."""
+    if node is None:
+        return UNKNOWN
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return SET
+    if isinstance(node, ast.Name):
+        return bindings.get(node.id, UNKNOWN)
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in ("set", "frozenset"):
+            return SET
+        if name == "sorted":
+            return ORDERED
+        if name in LISTING_FUNCTIONS:
+            return LISTING
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in LISTING_METHODS:
+                return LISTING
+            if (node.func.attr in SET_METHODS
+                    and infer(node.func.value, bindings) == SET):
+                return SET
+        return UNKNOWN
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)):
+        if SET in (infer(node.left, bindings),
+                   infer(node.right, bindings)):
+            return SET
+    if isinstance(node, ast.IfExp):
+        left = infer(node.body, bindings)
+        if left != UNKNOWN and left == infer(node.orelse, bindings):
+            return left
+    return UNKNOWN
+
+
+def _assign_targets(node: ast.AST) -> List[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, ast.AnnAssign) and node.value is not None:
+        return [node.target]
+    return []
+
+
+def scope_bindings(scope: ScopeNode) -> Dict[str, str]:
+    """Name → tag for every locally assigned name of ``scope``.
+
+    One sequential pass; a name assigned more than one distinct tag
+    collapses to :data:`UNKNOWN` (the analyzer then stays silent about
+    it — under-reporting is the safe direction for a lint rule).
+    """
+    observed: Dict[str, Set[str]] = {}
+    rolling: Dict[str, str] = {}
+
+    def record(name: str, tag: str) -> None:
+        observed.setdefault(name, set()).add(tag)
+        rolling[name] = tag
+
+    for node in scope_statements(scope):
+        for target in _assign_targets(node):
+            if isinstance(target, ast.Name):
+                value = node.value  # type: ignore[attr-defined]
+                record(target.id, infer(value, rolling))
+        if (isinstance(node, ast.For)
+                and isinstance(node.iter, ast.Call)
+                and dotted_name(node.iter.func) == "os.walk"
+                and isinstance(node.target, ast.Tuple)
+                and len(node.target.elts) == 3):
+            # ``for root, dirs, files in os.walk(...)`` — the dirnames
+            # and filenames components are listdir-ordered lists
+            for element in node.target.elts[1:]:
+                if isinstance(element, ast.Name):
+                    record(element.id, LISTING)
+    final: Dict[str, str] = {}
+    for name, tags in observed.items():
+        only = next(iter(tags)) if len(tags) == 1 else UNKNOWN
+        final[name] = only
+    return final
+
+
+def sanitized_names(scope: ScopeNode) -> Set[str]:
+    """Names whose order the scope visibly repairs: anything passed to
+    ``sorted(...)`` or sorted in place via ``name.sort(...)``.
+
+    A loop appending into such a list is order-insensitive — the
+    nondeterministic intermediate order never escapes.
+    """
+    names: Set[str] = set()
+    for node in scope_statements(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        if (isinstance(node.func, ast.Name)
+                and node.func.id == "sorted" and node.args
+                and isinstance(node.args[0], ast.Name)):
+            names.add(node.args[0].id)
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "sort"
+                and isinstance(node.func.value, ast.Name)):
+            names.add(node.func.value.id)
+    return names

@@ -297,7 +297,7 @@ def minimize(on: Iterable[Vector], off: Iterable[Vector],
                        for v in off})
     overlap = set(on_ints) & set(off_ints)
     if overlap:
-        bits = format(next(iter(overlap)), f"0{width}b")[::-1]
+        bits = format(min(overlap), f"0{width}b")[::-1]
         raise CoverError(
             f"ON and OFF sets overlap on vector {bits} over "
             f"{support}: the function is over-constrained (typically a "

@@ -402,6 +402,71 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static analyzer; exit 1 on non-baseline findings."""
+    import json as json_module
+
+    from repro.analysis import (Baseline, Finding, describe_rules,
+                                lint_paths, select_rules)
+    if args.list_rules:
+        table = describe_rules()
+        width = max(len(rule_id) for rule_id in table)
+        for rule_id in sorted(table):
+            print(f"{rule_id:<{width}}  {table[rule_id]}")
+        return 0
+    rules = None
+    if args.rules:
+        wanted = tuple(part.strip()
+                       for chunk in args.rules
+                       for part in chunk.split(",") if part.strip())
+        try:
+            rules = select_rules(wanted)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    paths = args.paths or ["src/repro"]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    findings = lint_paths(paths, rules=rules, root=args.root)
+
+    if args.write_baseline:
+        previous = None
+        if os.path.exists(args.baseline):
+            previous = Baseline.load(args.baseline)
+        Baseline.from_findings(findings, previous).save(args.baseline)
+        print(f"wrote {args.baseline}: {len(findings)} accepted "
+              "finding(s)")
+        return 0
+
+    accepted: List[Finding] = []
+    if not args.no_baseline and os.path.exists(args.baseline):
+        new, accepted = Baseline.load(args.baseline).split(findings)
+    else:
+        new = findings
+
+    if args.json:
+        print(json_module.dumps({
+            "version": 1,
+            "new": [f.to_json() for f in new],
+            "accepted": [f.to_json() for f in accepted],
+            "summary": {"new": len(new), "accepted": len(accepted)},
+        }, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+        if accepted:
+            print(f"({len(accepted)} accepted finding(s) in "
+                  f"{args.baseline})")
+        if new:
+            print(f"{len(new)} new finding(s)")
+        else:
+            print("clean")
+    return 1 if new else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="si-mapper",
@@ -592,6 +657,40 @@ def build_parser() -> argparse.ArgumentParser:
                               "entries until the store fits this "
                               "byte budget")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically analyze source for determinism/concurrency/"
+             "pickle-safety bugs")
+    p_lint.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable findings (the CI gate "
+                             "consumes this)")
+    p_lint.add_argument("--baseline", default="lint-baseline.json",
+                        metavar="FILE",
+                        help="accepted-findings file; findings "
+                             "matching it don't fail the run "
+                             "(default: %(default)s)")
+    p_lint.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file: report every "
+                             "finding as new")
+    p_lint.add_argument("--write-baseline", action="store_true",
+                        help="accept the current findings: rewrite "
+                             "the baseline file (keeping existing "
+                             "justifications) and exit 0")
+    p_lint.add_argument("--rules", action="append", default=None,
+                        metavar="ID[,ID...]",
+                        help="run only these rule ids (repeatable)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="list rule ids and descriptions, then "
+                             "exit")
+    p_lint.add_argument("--root", default=None, metavar="DIR",
+                        help="report paths relative to DIR (default: "
+                             "current directory; must match how the "
+                             "baseline was written)")
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 

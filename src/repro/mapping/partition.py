@@ -183,7 +183,11 @@ def _grow(sg: StateGraph, seed: Set[State], half: Set[State],
     for _ in range(max_rounds):
         changed = False
         # Rule 2: well-formedness — no arcs from half∖region into region.
-        for state in list(region):
+        # Snapshots are iterated in repr order: the fixpoint itself is
+        # monotone (pull only adds), but which violation raises first —
+        # and hence the error message — must not depend on the hash
+        # seed.
+        for state in sorted(region, key=repr):
             for _, source in sg.predecessors(state):
                 if source in half and source not in region:
                     changed |= pull(source, "well-formedness")
@@ -191,7 +195,7 @@ def _grow(sg: StateGraph, seed: Set[State], half: Set[State],
         # an input arc leaving the region must stay observable, so its
         # target is pulled into the region (extending ER "beyond the
         # ER(b*)" in the paper's words).
-        for state in list(region):
+        for state in sorted(region, key=repr):
             for event, target in sg.successors(state):
                 if not sg.is_input_event(event):
                     continue
@@ -207,7 +211,7 @@ def _grow(sg: StateGraph, seed: Set[State], half: Set[State],
         # the region can be out of balance.
         touched = []
         seen_ids: Set[int] = set()
-        for state in region:
+        for state in sorted(region, key=repr):
             for diamond in diamond_index.get(state, ()):
                 if id(diamond) not in seen_ids:
                     seen_ids.add(id(diamond))

@@ -501,13 +501,17 @@ class DiskArtifactCache:
         """Every ``(kind, path)`` entry of the *current* layout."""
         found: List[Tuple[str, str]] = []
         layout_root = os.path.join(self.root, STORE_LAYOUT)
-        for directory, _, names in os.walk(layout_root):
+        for directory, dirs, names in os.walk(layout_root):
+            dirs.sort()
             kind = os.path.relpath(directory, layout_root).split(
                 os.sep)[0]
-            for name in names:
+            for name in sorted(names):
                 if name.endswith(".pkl") and not name.startswith("."):
                     found.append((kind, os.path.join(directory, name)))
-        return found
+        # the final sort makes the inventory independent of the walk
+        # order outright — gc eviction ties, sync transfer order and
+        # stats reports stay byte-identical across filesystems
+        return sorted(found)
 
     def _read_entry_header(self, path: str) -> Optional[Tuple[dict,
                                                               int]]:

@@ -310,7 +310,7 @@ def next_state_sets(sg: StateGraph,
     off = vectors_of(sg, off_states)
     clash = set(on) & set(off)
     if clash:
-        sample = next(iter(clash))
+        sample = min(clash, key=repr)
         raise CscViolation(
             f"next-state function of {signal!r} is ill-defined on code "
             f"{sample!r} (CSC violation)")

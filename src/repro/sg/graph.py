@@ -287,7 +287,10 @@ class StateGraph:
         pool = set(states)
         components: List[Set[State]] = []
         while pool:
-            seed = pool.pop()
+            # seed selection fixes the order of the returned component
+            # list — repr order keeps it hash-seed independent
+            seed = min(pool, key=repr)
+            pool.remove(seed)
             component = {seed}
             frontier = [seed]
             while frontier:

@@ -1,0 +1,28 @@
+"""Determinism fixtures: impure sources in cache-key builders."""
+
+import hashlib
+import time
+import uuid
+
+
+def tp_timestamped_cache_key(artifact):
+    stamp = time.time()  # expect: det-impure-key
+    return f"{artifact.name}-{stamp}"
+
+
+def tp_uuid_envelope_header(kind):
+    return {"kind": kind,
+            "token": uuid.uuid4()}  # expect: det-impure-key
+
+
+def tp_identity_digest(value):
+    return id(value)  # expect: det-impure-key
+
+
+def fp_content_key(artifact):
+    return hashlib.sha256(artifact.payload).hexdigest()
+
+
+def fp_timing_helper():
+    started = time.time()
+    return time.time() - started

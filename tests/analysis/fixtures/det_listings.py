@@ -1,0 +1,54 @@
+"""Determinism fixtures: directory-order filesystem listings."""
+
+import glob
+import os
+
+
+def tp_listdir_inventory(root):
+    entries = []
+    for name in os.listdir(root):  # expect: det-unsorted-listing
+        entries.append(name)
+    return entries
+
+
+def tp_walk_inventory(root):
+    found = []
+    for directory, _, names in os.walk(root):  # expect: det-unsorted-listing
+        found.append(directory)
+    return found
+
+
+def tp_walk_filenames(root):
+    found = []
+    for directory, dirs, names in os.walk(root):
+        dirs.sort()
+        for name in names:  # expect: det-unsorted-listing
+            found.append(name)
+    return found
+
+
+def tp_glob_materialized(pattern):
+    return list(glob.glob(pattern))  # expect: det-unsorted-listing
+
+
+def fp_sorted_listdir(root):
+    entries = []
+    for name in sorted(os.listdir(root)):
+        entries.append(name)
+    return entries
+
+
+def fp_sorted_walk_idiom(root):
+    found = []
+    for directory, dirs, names in os.walk(root):
+        dirs.sort()
+        for name in sorted(names):
+            found.append(name)
+    return found
+
+
+def fp_order_insensitive_walk(root):
+    total = 0
+    for directory, dirs, names in os.walk(root):
+        total += len(names)
+    return total

@@ -1,0 +1,29 @@
+"""The PR-2 bug class: an unsorted set feeding a cover decision.
+
+``_monotonicity_violation`` iterated a ``set`` of quiescent states and
+returned the *first* violating one — so which witness drove the cover
+decision (and hence the synthesized netlist) depended on
+``PYTHONHASHSEED``.  This fixture is the determinism rule's acceptance
+test: the buggy shape must be flagged, the fixed shape must not.
+"""
+
+
+def tp_first_violation_buggy(states, cover):
+    quiescent = {s for s in states if s.quiescent}
+    for state in quiescent:  # expect: det-unsorted-iteration
+        if cover.evaluate(state.code):
+            return state
+    return None
+
+
+def fp_first_violation_fixed(states, cover):
+    quiescent = {s for s in states if s.quiescent}
+    for state in sorted(quiescent, key=repr):
+        if cover.evaluate(state.code):
+            return state
+    return None
+
+
+def fp_any_violation(states, cover):
+    quiescent = {s for s in states if s.quiescent}
+    return any(cover.evaluate(s.code) for s in quiescent)

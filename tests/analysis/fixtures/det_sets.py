@@ -1,0 +1,86 @@
+"""Determinism fixtures: set iteration, true and false positives."""
+
+
+def tp_append_from_set(items):
+    chosen = {x for x in items if x > 0}
+    out = []
+    for value in chosen:  # expect: det-unsorted-iteration
+        out.append(value)
+    return out
+
+
+def tp_materialize_set(items):
+    pool = set(items)
+    return list(pool)  # expect: det-unsorted-iteration
+
+
+def tp_listcomp_from_set(items):
+    pool = frozenset(items)
+    return [x * 2 for x in pool]  # expect: det-unsorted-iteration
+
+
+def tp_join_generator(names):
+    pool = set(names)
+    return ",".join(str(n) for n in pool)  # expect: det-unsorted-iteration
+
+
+def tp_set_pop(items):
+    pool = set(items)
+    return pool.pop()  # expect: det-unsorted-iteration
+
+
+def tp_yield_from_set(items):
+    pool = set(items)
+    for value in pool:  # expect: det-unsorted-iteration
+        yield value
+
+
+def tp_set_operator(left, right):
+    overlap = set(left) & set(right)
+    out = []
+    for value in overlap:  # expect: det-unsorted-iteration
+        out.append(value)
+    return out
+
+
+def fp_sorted_iteration(items):
+    chosen = {x for x in items if x > 0}
+    out = []
+    for value in sorted(chosen):
+        out.append(value)
+    return out
+
+
+def fp_order_insensitive_aggregation(items):
+    pool = set(items)
+    total = 0
+    for value in pool:
+        total += value
+    return total, max(pool), sum(pool), len(pool)
+
+
+def fp_sanitized_after_append(items):
+    pool = set(items)
+    out = []
+    for value in pool:
+        out.append(value)
+    out.sort()
+    return out
+
+
+def fp_sorted_consumer(items):
+    pool = set(items)
+    return sorted([x for x in pool])
+
+
+def fp_membership_and_set_build(items, probe):
+    pool = set(items)
+    other = {x for x in pool}
+    return probe in pool, other
+
+
+def fp_unknown_source(records):
+    out = []
+    for record in records:
+        out.append(record)
+    return out

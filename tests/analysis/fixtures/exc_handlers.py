@@ -1,0 +1,53 @@
+"""Degradation-hygiene fixtures: exception handler shapes."""
+
+
+def tp_bare_except(work):
+    try:
+        return work()
+    except:  # expect: exc-swallow-interrupt
+        return None
+
+
+def tp_base_exception(work):
+    try:
+        return work()
+    except BaseException:  # expect: exc-swallow-interrupt
+        return None
+
+
+def tp_silent_broad_degrade(work):
+    try:
+        return work()
+    except Exception:  # expect: exc-broad-degrade
+        return None
+
+
+def fp_broad_but_reraises(work, log):
+    try:
+        return work()
+    except Exception:
+        log.rollback()
+        raise
+
+
+def fp_broad_but_inspects(work, log):
+    try:
+        return work()
+    except Exception as error:
+        log.warning("degraded: %s", error)
+        return None
+
+
+def fp_base_exception_reraise(work, cleanup):
+    try:
+        return work()
+    except BaseException:
+        cleanup()
+        raise
+
+
+def fp_specific_errors(work):
+    try:
+        return work()
+    except (ValueError, KeyError):
+        return None

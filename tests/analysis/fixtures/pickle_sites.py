@@ -1,0 +1,31 @@
+"""Pickle-safety fixtures: deserialization outside the sanctioned
+module (this file is not ``repro/dist/envelope.py``, so every load
+site here is a finding)."""
+
+import json
+import pickle
+
+
+def tp_raw_loads(data):
+    return pickle.loads(data)  # expect: pickle-unrestricted-load
+
+
+def tp_raw_load(stream):
+    return pickle.load(stream)  # expect: pickle-unrestricted-load
+
+
+def tp_unpickler_call(stream):
+    return pickle.Unpickler(stream).load()  # expect: pickle-unrestricted-load
+
+
+class TpCustomUnpickler(pickle.Unpickler):  # expect: pickle-unrestricted-load
+    def find_class(self, module, name):
+        raise ValueError("nope")
+
+
+def fp_serialization_only(value):
+    return pickle.dumps(value)
+
+
+def fp_json_loads(data):
+    return json.loads(data)

@@ -1,0 +1,78 @@
+"""Baseline semantics: matching, counts, persistence."""
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, Finding
+
+
+def finding(rule="det-unsorted-iteration", path="m.py", line=3,
+            code="x = list(pool)"):
+    return Finding(rule=rule, path=path, line=line, col=1,
+                   severity="error", message="msg", hint="", code=code)
+
+
+class TestSplit:
+    def test_matching_finding_is_accepted(self):
+        base = Baseline([BaselineEntry(
+            rule="det-unsorted-iteration", path="m.py",
+            code="x = list(pool)", count=1, justification="ok")])
+        new, accepted = base.split([finding()])
+        assert new == [] and len(accepted) == 1
+
+    def test_line_drift_still_matches(self):
+        """Keys use the stripped source line, not the line number."""
+        base = Baseline.from_findings([finding(line=3)])
+        new, accepted = base.split([finding(line=47)])
+        assert new == [] and len(accepted) == 1
+
+    def test_changed_code_is_new(self):
+        base = Baseline.from_findings([finding()])
+        new, _ = base.split([finding(code="y = tuple(pool)")])
+        assert len(new) == 1
+
+    def test_count_allowance_and_overflow(self):
+        base = Baseline([BaselineEntry(
+            rule="det-unsorted-iteration", path="m.py",
+            code="x = list(pool)", count=2)])
+        new, accepted = base.split(
+            [finding(line=1), finding(line=2), finding(line=3)])
+        assert len(accepted) == 2 and len(new) == 1
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        target = str(tmp_path / "baseline.json")
+        base = Baseline.from_findings([finding()])
+        base.save(target)
+        loaded = Baseline.load(target)
+        assert [e.to_json() for e in loaded.entries] == \
+            [e.to_json() for e in base.entries]
+
+    def test_rewrite_preserves_justifications(self):
+        previous = Baseline([BaselineEntry(
+            rule="det-unsorted-iteration", path="m.py",
+            code="x = list(pool)", count=1,
+            justification="reviewed: singleton set")])
+        rebuilt = Baseline.from_findings(
+            [finding(), finding(rule="exc-broad-degrade",
+                                code="except Exception:")],
+            previous=previous)
+        by_rule = {e.rule: e for e in rebuilt.entries}
+        assert (by_rule["det-unsorted-iteration"].justification
+                == "reviewed: singleton set")
+        assert (by_rule["exc-broad-degrade"].justification
+                == "TODO: justify")
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(str(target))
+
+    def test_not_a_baseline_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text("[]")
+        with pytest.raises(ValueError, match="entries"):
+            Baseline.load(str(target))

@@ -1,0 +1,137 @@
+"""``si-mapper lint`` end to end: exit codes, JSON, the gate.
+
+The acceptance criterion for the CI gate: introducing a synthetic
+unsorted-set-iteration (or unlocked-handler-write) regression must
+flip the exit code to non-zero even with a populated baseline.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+BUGGY_SET = """\
+def first(items):
+    pool = set(items)
+    for value in pool:
+        return value
+"""
+
+BUGGY_HANDLER = """\
+from http.server import BaseHTTPRequestHandler
+
+
+class Handler(BaseHTTPRequestHandler):
+    def do_POST(self):
+        self.server.jobs["x"] = 1
+"""
+
+CLEAN = """\
+def first(items):
+    pool = set(items)
+    for value in sorted(pool):
+        return value
+"""
+
+
+@pytest.fixture
+def workdir(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, workdir, capsys):
+        (workdir / "mod.py").write_text(CLEAN)
+        assert main(["lint", "mod.py"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_finding_exits_one(self, workdir, capsys):
+        (workdir / "mod.py").write_text(BUGGY_SET)
+        assert main(["lint", "mod.py"]) == 1
+        out = capsys.readouterr().out
+        assert "det-unsorted-iteration" in out
+
+    def test_handler_regression_exits_one(self, workdir):
+        (workdir / "srv.py").write_text(BUGGY_HANDLER)
+        assert main(["lint", "srv.py"]) == 1
+
+    def test_missing_path_exits_two(self, workdir, capsys):
+        assert main(["lint", "no-such-dir"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, workdir, capsys):
+        (workdir / "mod.py").write_text(CLEAN)
+        assert main(["lint", "--rules", "not-a-rule", "mod.py"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestBaselineFlow:
+    def test_write_then_clean_then_regression(self, workdir, capsys):
+        """The CI story in one test: accept today's findings, stay
+        green, then a *new* regression still fails the gate."""
+        (workdir / "legacy.py").write_text(BUGGY_SET)
+        assert main(["lint", "legacy.py", "--write-baseline"]) == 0
+        assert main(["lint", "legacy.py"]) == 0
+        out = capsys.readouterr().out
+        assert "accepted" in out
+        # a fresh regression is not covered by the baseline
+        (workdir / "fresh.py").write_text(BUGGY_SET)
+        assert main(["lint", "legacy.py", "fresh.py"]) == 1
+
+    def test_no_baseline_flag_reports_everything(self, workdir):
+        (workdir / "legacy.py").write_text(BUGGY_SET)
+        assert main(["lint", "legacy.py", "--write-baseline"]) == 0
+        assert main(["lint", "legacy.py", "--no-baseline"]) == 1
+
+    def test_rewrite_keeps_justification(self, workdir):
+        (workdir / "legacy.py").write_text(BUGGY_SET)
+        main(["lint", "legacy.py", "--write-baseline"])
+        payload = json.loads(
+            (workdir / "lint-baseline.json").read_text())
+        payload["entries"][0]["justification"] = "reviewed by a human"
+        (workdir / "lint-baseline.json").write_text(
+            json.dumps(payload))
+        main(["lint", "legacy.py", "--write-baseline"])
+        rewritten = json.loads(
+            (workdir / "lint-baseline.json").read_text())
+        assert (rewritten["entries"][0]["justification"]
+                == "reviewed by a human")
+
+
+class TestJsonOutput:
+    def test_json_shape(self, workdir, capsys):
+        (workdir / "mod.py").write_text(BUGGY_SET)
+        assert main(["lint", "--json", "mod.py"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"] == {"new": 1, "accepted": 0}
+        (entry,) = payload["new"]
+        assert entry["rule"] == "det-unsorted-iteration"
+        assert entry["path"] == "mod.py"
+        assert entry["line"] == 3
+        assert entry["severity"] == "error"
+
+    def test_json_accepted_section(self, workdir, capsys):
+        (workdir / "mod.py").write_text(BUGGY_SET)
+        main(["lint", "mod.py", "--write-baseline"])
+        capsys.readouterr()
+        assert main(["lint", "--json", "mod.py"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"] == {"new": 0, "accepted": 1}
+
+
+class TestRuleSelection:
+    def test_list_rules(self, workdir, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "det-unsorted-iteration" in out
+        assert "pickle-unrestricted-load" in out
+
+    def test_rules_filter(self, workdir):
+        (workdir / "mod.py").write_text(BUGGY_SET)
+        assert main(["lint", "--rules", "exc-broad-degrade",
+                     "mod.py"]) == 0
+        assert main(["lint", "--rules",
+                     "det-unsorted-iteration,exc-broad-degrade",
+                     "mod.py"]) == 1

@@ -1,0 +1,87 @@
+"""Engine behavior: suppressions, parse errors, file enumeration."""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.engine import iter_source_files
+
+BUGGY = """\
+pool = set([1, 2, 3])
+first = list(pool)
+"""
+
+
+class TestSuppressions:
+    def test_targeted_suppression(self):
+        source = BUGGY.replace(
+            "first = list(pool)",
+            "first = list(pool)  # si-lint: disable=det-unsorted-iteration")
+        assert lint_source(source, "t.py") == []
+
+    def test_blanket_suppression(self):
+        source = BUGGY.replace(
+            "first = list(pool)",
+            "first = list(pool)  # si-lint: disable")
+        assert lint_source(source, "t.py") == []
+
+    def test_wrong_rule_does_not_suppress(self):
+        source = BUGGY.replace(
+            "first = list(pool)",
+            "first = list(pool)  # si-lint: disable=exc-broad-degrade")
+        findings = lint_source(source, "t.py")
+        assert [f.rule for f in findings] == ["det-unsorted-iteration"]
+
+    def test_other_lines_unaffected(self):
+        source = ("# si-lint: disable\n" + BUGGY)
+        findings = lint_source(source, "t.py")
+        assert [f.rule for f in findings] == ["det-unsorted-iteration"]
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_finding(self):
+        findings = lint_source("def broken(:\n", "bad.py")
+        assert len(findings) == 1
+        assert findings[0].rule == "parse-error"
+        assert findings[0].severity == "error"
+        assert findings[0].path == "bad.py"
+
+
+class TestFileEnumeration:
+    def _tree(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "a.py").write_text("y = 2\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "a.py").write_text("")
+        # a build-artifact 'dist' dir is skipped ...
+        (tmp_path / "dist").mkdir()
+        (tmp_path / "dist" / "junk.py").write_text("z = 3\n")
+        # ... but a 'dist' *package* is real source
+        (tmp_path / "pkg" / "dist").mkdir()
+        (tmp_path / "pkg" / "dist" / "__init__.py").write_text("")
+        return tmp_path
+
+    def test_sorted_and_skips(self, tmp_path):
+        root = self._tree(tmp_path)
+        files = [Path(p).relative_to(root).as_posix()
+                 for p in iter_source_files(str(root))]
+        assert files == ["pkg/a.py", "pkg/b.py",
+                         "pkg/dist/__init__.py"]
+
+    def test_single_file(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("x = 1\n")
+        assert list(iter_source_files(str(target))) == [str(target)]
+
+
+class TestLintPaths:
+    def test_paths_are_root_relative_posix(self, tmp_path):
+        (tmp_path / "mod.py").write_text(BUGGY)
+        findings = lint_paths([str(tmp_path)], root=str(tmp_path))
+        assert [f.path for f in findings] == ["mod.py"]
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        (tmp_path / "b.py").write_text(BUGGY)
+        (tmp_path / "a.py").write_text(BUGGY)
+        findings = lint_paths([str(tmp_path)], root=str(tmp_path))
+        assert [f.path for f in findings] == ["a.py", "b.py"]

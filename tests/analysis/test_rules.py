@@ -1,0 +1,78 @@
+"""Fixture-driven rule tests.
+
+Each fixture module under ``fixtures/`` marks every line the analyzer
+must flag with a trailing ``# expect: <rule-id>`` comment
+(comma-separated for several rules on one line).  The test asserts
+*exact* agreement between markers and findings, so unmarked lines
+double as false-positive regression checks: a rule that starts firing
+on a clean pattern fails the same test as one that goes blind.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_EXPECT = re.compile(r"#\s*expect:\s*([a-z0-9\-]+(?:\s*,\s*[a-z0-9\-]+)*)")
+
+
+def expected_findings(source):
+    expected = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _EXPECT.search(line)
+        if match:
+            for rule in match.group(1).split(","):
+                expected.add((lineno, rule.strip()))
+    return expected
+
+
+def fixture_files():
+    return sorted(FIXTURES.glob("*.py"))
+
+
+@pytest.mark.parametrize("fixture", fixture_files(),
+                         ids=lambda path: path.stem)
+def test_fixture_findings_match_markers(fixture):
+    source = fixture.read_text(encoding="utf-8")
+    expected = expected_findings(source)
+    findings = lint_source(source, fixture.name)
+    actual = {(f.line, f.rule) for f in findings}
+    missing = expected - actual
+    unexpected = actual - expected
+    assert not missing, f"rules went blind: {sorted(missing)}"
+    assert not unexpected, f"false positives: {sorted(unexpected)}"
+
+
+def test_corpus_covers_all_rule_families():
+    """Every rule family has at least one true positive *and* the
+    fixture set contains unflagged (false-positive-guard) code."""
+    covered = set()
+    for fixture in fixture_files():
+        covered |= {rule for _, rule in
+                    expected_findings(fixture.read_text("utf-8"))}
+    assert covered >= {
+        "det-unsorted-iteration", "det-unsorted-listing",
+        "det-impure-key",
+        "conc-handler-shared-write", "conc-unlocked-counter",
+        "pickle-unrestricted-load",
+        "exc-swallow-interrupt", "exc-broad-degrade",
+    }
+
+
+def test_pr2_bug_class_is_the_acceptance_fixture():
+    """The historical cover bug — first match out of an unsorted set —
+    must be caught, and its sorted repair must pass."""
+    source = (FIXTURES / "det_pr2_cover.py").read_text("utf-8")
+    findings = lint_source(source, "det_pr2_cover.py")
+    flagged_scopes = {f.line for f in findings
+                      if f.rule == "det-unsorted-iteration"}
+    buggy_line = next(
+        lineno for lineno, line in
+        enumerate(source.splitlines(), start=1)
+        if "for state in quiescent:  # expect" in line)
+    assert buggy_line in flagged_scopes
+    assert all("fp_" not in f.code for f in findings)

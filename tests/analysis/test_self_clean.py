@@ -1,0 +1,39 @@
+"""The repo lints itself: ``si-mapper lint src/repro`` must be clean
+against the committed baseline, wherever pytest is invoked from."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import Baseline, lint_paths
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "lint-baseline.json"
+
+
+@pytest.mark.skipif(not BASELINE.exists(),
+                    reason="not running from a source checkout")
+def test_source_tree_is_clean_against_baseline():
+    findings = lint_paths([str(REPO_ROOT / "src" / "repro")],
+                          root=str(REPO_ROOT))
+    new, accepted = Baseline.load(str(BASELINE)).split(findings)
+    assert new == [], "\n".join(f.render() for f in new)
+
+
+@pytest.mark.skipif(not BASELINE.exists(),
+                    reason="not running from a source checkout")
+def test_baseline_is_justified_and_tight():
+    """Every accepted finding carries a real justification, and the
+    baseline holds no stale entries the analyzer no longer reports."""
+    base = Baseline.load(str(BASELINE))
+    for entry in base.entries:
+        assert entry.justification.strip(), entry.key
+        assert "TODO" not in entry.justification, entry.key
+    findings = lint_paths([str(REPO_ROOT / "src" / "repro")],
+                          root=str(REPO_ROOT))
+    _, accepted = base.split(findings)
+    total_allowed = sum(e.count for e in base.entries)
+    assert len(accepted) == total_allowed, (
+        "stale baseline entries: the analyzer reports fewer findings "
+        "than the baseline accepts — re-run lint --write-baseline")
