@@ -14,7 +14,12 @@ Sub-commands:
   deterministic slice (writing a shard JSON), ``--merge shard*.json``
   reassembles the byte-identical single-machine report;
 * ``si-mapper serve`` — run the artifact cache server that remote
-  workers share via ``--cache-url`` / ``SI_MAPPER_CACHE_URL``;
+  workers share via ``--cache-url`` / ``SI_MAPPER_CACHE_URL``; with
+  ``--workers N`` (the default) it is also the synthesis job service
+  behind ``submit``;
+* ``si-mapper submit circuit.g --url URL`` — synthesize on a remote
+  ``serve`` daemon: POST the STG, poll the job, print the Table-1 row
+  as canonical JSON (byte-identical to the local run's row);
 * ``si-mapper bench-list`` — list the benchmark suite;
 * ``si-mapper show NAME`` — print a built-in benchmark as ``.g``;
 * ``si-mapper cache stats|gc|clear`` — inspect or maintain the
@@ -52,6 +57,8 @@ CACHE_ENV = "SI_MAPPER_CACHE"
 CACHE_URL_ENV = "SI_MAPPER_CACHE_URL"
 #: environment fallback for ``--cache-s3``
 CACHE_S3_ENV = "SI_MAPPER_CACHE_S3"
+#: environment fallback for ``--api-key`` (submit / report --claim)
+API_KEY_ENV = "SI_MAPPER_API_KEY"
 
 
 def _cache_dir_of(args: argparse.Namespace) -> Optional[str]:
@@ -177,7 +184,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         reconfigured = (args.literals != [2, 3, 4] or args.no_siegel
                         or args.jobs is not None
                         or _solve_csc_requested(args))
-        if args.shard or args.names or args.out or reconfigured:
+        if (args.shard or args.names or args.out or args.claim
+                or reconfigured):
             print("error: --merge takes shard files only (it replays "
                   "nothing, prints to stdout, and renders the shards' "
                   "own configuration)", file=sys.stderr)
@@ -192,14 +200,36 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print("error: --out only makes sense with --shard (the "
               "report itself goes to stdout)", file=sys.stderr)
         return 2
+    if args.claim and not args.shard:
+        print("error: --claim rides on --shard i/N (N workers share "
+              "the claim pool; the position labels this worker's "
+              "shard file)", file=sys.stderr)
+        return 2
     chosen = list(args.names) if args.names else benchmark_names()
     shard = None
     subset = chosen
     out = None
+    claimed_order: Optional[List[str]] = None
     if args.shard:
         from repro.dist.shard import parse_shard, shard_names
         shard = parse_shard(args.shard)
-        subset = shard_names(chosen, *shard)
+        if args.claim:
+            # work stealing: pull circuits from the serve daemon's
+            # claim pool instead of the static hash partition — a fast
+            # worker drains more of the list, a slow one less
+            url = _cache_url_of(args)
+            if url is None:
+                print("error: --claim needs the serve daemon address "
+                      f"(--cache-url or ${CACHE_URL_ENV})",
+                      file=sys.stderr)
+                return 2
+            from repro.dist.client import ServiceClient
+            client = ServiceClient(url, api_key=_api_key_of(args))
+            claimed_order = client.claim_all(chosen)
+            subset = [name for name in chosen
+                      if name in set(claimed_order)]
+        else:
+            subset = shard_names(chosen, *shard)
         out = args.out or (f"table1.shard-{shard[0]}"
                            f"of{shard[1]}.json")
         try:
@@ -241,7 +271,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         write_shard(out, shard_payload(
             chosen, shard, tuple(args.literals), not args.no_siegel,
             None if mapper is None else repr(mapper), rows, failures,
-            telemetry=telemetry))
+            telemetry=telemetry, claimed=claimed_order))
         print(f"shard {shard[0]}/{shard[1]}: {len(subset)} of "
               f"{len(chosen)} circuits -> {out}", file=sys.stderr)
     return 0 if len(rows) == len(subset) else 1
@@ -361,6 +391,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _api_key_of(args: argparse.Namespace) -> Optional[str]:
+    """The tenant key for the job API: flag first, then environment."""
+    return (getattr(args, "api_key", None)
+            or os.environ.get(API_KEY_ENV))
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the artifact cache server over a local store directory."""
     directory = _cache_dir_of(args)
@@ -368,24 +404,97 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: serve needs a store directory (use --cache-dir "
               f"or set ${CACHE_ENV})", file=sys.stderr)
         return 2
+    # an upstream shared store (tiered *behind* this server's disk for
+    # job pipelines) comes only from explicit flags — picking up
+    # $SI_MAPPER_CACHE_URL here could point the daemon at itself
+    upstream = None
+    if args.cache_url and args.cache_s3:
+        print("error: --cache-url and --cache-s3 are mutually "
+              "exclusive", file=sys.stderr)
+        return 2
+    if args.cache_url:
+        from repro.dist.remote import RemoteArtifactCache
+        upstream = RemoteArtifactCache(args.cache_url)
+    elif args.cache_s3:
+        from repro.dist.objectstore import ObjectStoreArtifactCache
+        upstream = ObjectStoreArtifactCache(args.cache_s3)
+    api_keys = tuple(part.strip()
+                     for chunk in (args.api_keys or [])
+                     for part in chunk.split(",") if part.strip())
     from repro.dist.server import ArtifactServer
     try:
         server = ArtifactServer(directory, host=args.host,
-                                port=args.port, verbose=args.verbose)
+                                port=args.port, verbose=args.verbose,
+                                workers=args.workers,
+                                api_keys=api_keys, quota=args.quota,
+                                request_timeout=args.request_timeout,
+                                upstream=upstream)
     except OSError as error:
         # bind failures (port taken, bad host) are operational errors,
         # not tracebacks
         print(f"error: cannot serve on {args.host}:{args.port}: "
               f"{error}", file=sys.stderr)
         return 2
+    jobs = (f", {args.workers} synthesis worker(s)" if args.workers
+            else "")
+    auth = f", {len(api_keys)} API key(s)" if api_keys else ""
     print(f"serving artifact store {server.store.root} "
-          f"at {server.url}", flush=True)
+          f"at {server.url}{jobs}{auth}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        if server.jobs is not None:
+            server.jobs.stop()
         server.server_close()
+    return 0
+
+
+def _circuit_g_text(circuit: str) -> str:
+    """Resolve a submit source into ``.g`` text: a path when it looks
+    like one, a built-in benchmark name otherwise — the same rule as
+    :meth:`SynthesisContext.of`."""
+    if circuit.endswith(".g") or os.sep in circuit:
+        with open(circuit, "r", encoding="utf-8") as handle:
+            return handle.read()
+    return write_g(benchmark(circuit))
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Synthesize on a remote serve daemon and print the Table-1 row."""
+    from repro.dist.client import ServiceClient
+    from repro.dist.jobs import JobParams
+    url = args.url or _cache_url_of(args)
+    if url is None:
+        print("error: submit needs the service address (--url, "
+              f"--cache-url, or ${CACHE_URL_ENV})", file=sys.stderr)
+        return 2
+    g_text = _circuit_g_text(args.circuit)
+    params = JobParams(libraries=tuple(args.literals),
+                       with_siegel=not args.no_siegel,
+                       solve_csc=_solve_csc_requested(args),
+                       csc_method=args.csc_method)
+    client = ServiceClient(url, api_key=_api_key_of(args))
+
+    narrated = {"count": 0}
+
+    def narrate(document: dict) -> None:
+        if not args.verbose:
+            return
+        events = document.get("events", [])
+        for event in events[narrated["count"]:]:
+            if event.get("status") == "done":
+                print(f"... {event['stage']}: "
+                      f"{event.get('seconds', 0):.3f}s",
+                      file=sys.stderr)
+        narrated["count"] = len(events)
+
+    row_bytes = client.submit_and_wait(
+        g_text, params, poll_seconds=args.poll,
+        deadline_seconds=args.timeout, on_progress=narrate)
+    sys.stdout.buffer.write(row_bytes)
+    sys.stdout.buffer.flush()
     return 0
 
 
@@ -567,6 +676,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="merge shard JSON files into the "
                                "byte-identical single-machine report "
                                "(runs nothing)")
+    p_report.add_argument("--claim", action="store_true",
+                          help="with --shard: pull circuits from the "
+                               "serve daemon's work-stealing pool "
+                               "(POST /claim) instead of the static "
+                               "hash partition")
+    p_report.add_argument("--api-key", default=None, metavar="KEY",
+                          help="X-SI-Key for --claim against a keyed "
+                               f"daemon (default: ${API_KEY_ENV})")
     p_report.set_defaults(func=_cmd_report)
 
     p_serve = sub.add_parser("serve",
@@ -580,7 +697,63 @@ def build_parser() -> argparse.ArgumentParser:
                          help="TCP port (default 8947; 0 = ephemeral)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log each request to stderr")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         metavar="N",
+                         help="synthesis job workers behind POST "
+                              "/jobs (default 2; 0 = cache daemon "
+                              "only)")
+    p_serve.add_argument("--api-keys", action="append", default=None,
+                         metavar="KEY[,KEY...]",
+                         help="restrict the job API to these "
+                              "X-SI-Key tenants (repeatable; "
+                              "default: open)")
+    p_serve.add_argument("--quota", type=int, default=0, metavar="N",
+                         help="max queued+running jobs per tenant "
+                              "(default 0 = unlimited)")
+    p_serve.add_argument("--request-timeout", type=float,
+                         default=30.0, metavar="SECONDS",
+                         help="per-connection socket timeout so "
+                              "stalled clients cannot pin handler "
+                              "threads (default 30)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="synthesize on a remote serve daemon and print the "
+             "Table-1 row as canonical JSON",
+        parents=[caching])
+    p_submit.add_argument("circuit", help=".g file (or a built-in "
+                                          "benchmark name)")
+    p_submit.add_argument("--url", default=None, metavar="URL",
+                          help="the serve daemon (default: "
+                               f"--cache-url / ${CACHE_URL_ENV})")
+    p_submit.add_argument("--api-key", default=None, metavar="KEY",
+                          help="X-SI-Key tenant credential (default: "
+                               f"${API_KEY_ENV})")
+    p_submit.add_argument("-k", "--literals", type=int, nargs="+",
+                          default=[2, 3, 4])
+    p_submit.add_argument("--no-siegel", action="store_true",
+                          help="skip the local-ack baseline column")
+    p_submit.add_argument("--solve-csc", action="store_true",
+                          help="run the CSC-solving stage before "
+                               "mapping")
+    p_submit.add_argument("--csc-method",
+                          choices=["blocks", "regions"],
+                          default="blocks",
+                          help="CSC candidate family; choosing "
+                               "'regions' implies --solve-csc")
+    p_submit.add_argument("--poll", type=float, default=0.2,
+                          metavar="SECONDS",
+                          help="status poll interval (default 0.2)")
+    p_submit.add_argument("--timeout", type=float, default=600.0,
+                          metavar="SECONDS",
+                          help="give up after this long (the job "
+                               "keeps running server-side; default "
+                               "600)")
+    p_submit.add_argument("--verbose", action="store_true",
+                          help="narrate stage completions to stderr "
+                               "while polling")
+    p_submit.set_defaults(func=_cmd_submit)
 
     p_bench = sub.add_parser("bench",
                              help="measure the battery and record a "

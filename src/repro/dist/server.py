@@ -14,6 +14,27 @@ workers over a tiny content-addressed protocol:
 * ``GET  /healthz``  — liveness probe;
 * ``POST /gc``, ``POST /clear`` — remote store maintenance.
 
+With ``workers >= 1`` the daemon is additionally a *synthesis job
+service* (:mod:`repro.dist.jobs`):
+
+* ``POST   /jobs``          — submit an STG (``.g`` body) for the full
+  synthesis battery; battery parameters ride the query string;
+* ``GET    /jobs/<id>``     — job status, progress events and stage
+  timings;
+* ``GET    /jobs/<id>/result`` — the finished Table-1 row (canonical
+  JSON bytes, identical on every fetch);
+* ``DELETE /jobs/<id>``     — cancel a queued job;
+* ``POST   /claim``         — work stealing for ``report --shard
+  --claim`` workers: hand out one benchmark name per request.
+
+Job endpoints (and ``/claim``) authenticate per tenant via the
+``X-SI-Key`` header when the server was configured with API keys;
+jobs are content-addressed and deduplicated *across* tenants, so any
+authenticated tenant may read any job it knows the id of — the ids
+are derived from the submitted circuit, exactly like artifact digests.
+Every connection carries a socket timeout (``request_timeout``), so a
+stalled client cannot pin a handler thread forever.
+
 Codec negotiation: a client advertises what it can decompress via
 ``X-SI-Codecs``; an entry stamped with a codec the client did not
 advertise is transcoded to ``identity`` for that response (the header
@@ -43,11 +64,15 @@ import sys
 import threading
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import BinaryIO, Dict, Optional, Tuple, Union
+from typing import (Any, BinaryIO, Dict, Optional, Sequence, Tuple,
+                    Union)
 
 from repro.dist.envelope import (HEADER_PROBE_BYTES, available_codecs,
                                  negotiate_codecs, plausible_envelope,
                                  read_header, transcode)
+from repro.dist.jobs import (DONE, FAILED, ClaimPool, JobParams,
+                             JobRequestError, JobService, QuotaExceeded)
+from repro.errors import ParseError
 from repro.pipeline.store import DiskArtifactCache
 
 #: an upload larger than this is refused (413) — the biggest real
@@ -69,6 +94,13 @@ _ARTIFACT_PATH = re.compile(
 #: single byte range: ``bytes=a-b``, ``bytes=a-``, or ``bytes=-n``;
 #: anything else (multi-range included) is served as a full 200.
 _RANGE = re.compile(r"^bytes=(\d*)-(\d*)$")
+
+#: maintenance (``/gc``, ``/clear``) and ``/claim`` bodies are tiny
+MAX_CONTROL_BYTES = 65536
+
+#: ``/jobs/<id>`` with an optional ``/result`` suffix; ids are the
+#: hex prefixes :func:`repro.dist.jobs.job_id_of` mints
+_JOB_PATH = re.compile(r"^/jobs/([0-9a-f]{8,64})(/result)?$")
 
 
 def _parse_range(header: Optional[str],
@@ -116,6 +148,16 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
     # Plumbing
     # ------------------------------------------------------------------
 
+    def setup(self) -> None:
+        # Per-connection socket timeout: every read/write against a
+        # stalled client fails after request_timeout seconds instead
+        # of pinning this handler thread forever.  Must happen before
+        # super().setup() — that is where the socket timeout is
+        # applied.  handle_one_request() turns the resulting
+        # socket.timeout into a closed connection.
+        self.timeout = self.server.request_timeout
+        super().setup()
+
     def log_message(self, format: str, *args) -> None:
         if self.server.verbose:
             sys.stderr.write("serve: %s - %s\n"
@@ -149,6 +191,53 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
             urllib.parse.urlsplit(self.path).path)
         return (match.group(1), match.group(2)) if match else None
 
+    def _tenant(self) -> Optional[str]:
+        """Authenticate the job API: the quota bucket, or ``None``
+        after a 403 reply.  With no configured keys the service is
+        open and unkeyed clients share the ``anonymous`` bucket."""
+        key = self.headers.get("X-SI-Key")
+        if self.server.api_keys:
+            if key is None or key not in self.server.api_keys:
+                self._reply_json(
+                    403, {"error": "missing or unknown X-SI-Key"})
+                return None
+            return key
+        return key or "anonymous"
+
+    def _job_service(self) -> Optional[JobService]:
+        jobs = self.server.jobs
+        if jobs is None:
+            self._reply_json(503, {"error": "job service disabled "
+                                            "(serve --workers N)"})
+        return jobs
+
+    def _read_body(self, limit: int) -> Optional[bytes]:
+        """The full request body, or ``None`` after an error reply.
+
+        Refuses anything over ``limit`` (413) and truncated reads
+        (400) *before* the caller acts on the body."""
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._reply(411, b"Content-Length required\n")
+            return None
+        if length < 0 or length > limit:
+            if self._drain_body(length):
+                self.close_connection = False
+            self._reply(413, b"body too large\n")
+            return None
+        chunks = []
+        remaining = length
+        while remaining:
+            chunk = self.rfile.read(min(remaining, IO_CHUNK_BYTES))
+            if not chunk:
+                self._reply(400, b"truncated body\n")
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        self.close_connection = False       # body fully consumed
+        return b"".join(chunks)
+
     # ------------------------------------------------------------------
     # GET: stats, health, ranged artifact downloads
     # ------------------------------------------------------------------
@@ -160,6 +249,9 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
             return
         if path == "/stats":
             self._reply_json(200, self.server.stats_payload())
+            return
+        if path.startswith("/jobs/"):
+            self._get_job(path)
             return
         address = self._artifact_address()
         if address is None:
@@ -257,6 +349,108 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
                     extra_headers={"Accept-Ranges": "bytes"})
 
     # ------------------------------------------------------------------
+    # Job API: status, results, cancellation
+    # ------------------------------------------------------------------
+
+    def _get_job(self, path: str) -> None:
+        jobs = self._job_service()
+        if jobs is None or self._tenant() is None:
+            return
+        match = _JOB_PATH.match(path)
+        if match is None:
+            self._reply(404, b"unknown path\n")
+            return
+        job = jobs.get(match.group(1))
+        if job is None:
+            self._reply_json(404, {"error": "no such job"})
+            return
+        if match.group(2) is None:
+            self._reply_json(200, job.status_payload())
+            return
+        # /result — the canonical row bytes, exactly as computed
+        if job.state == DONE:
+            assert job.result is not None
+            self._reply(200, job.result,
+                        content_type="application/json")
+        elif job.state == FAILED:
+            self._reply_json(409, {"error": job.error,
+                                   "state": job.state})
+        else:
+            # not finished yet: the status document, with a 202 so a
+            # bare poll loop on /result works
+            self._reply_json(202, job.status_payload())
+
+    def do_DELETE(self) -> None:
+        path = urllib.parse.urlsplit(self.path).path
+        match = _JOB_PATH.match(path)
+        if match is None or match.group(2) is not None:
+            self._reply(404, b"unknown path\n")
+            return
+        jobs = self._job_service()
+        if jobs is None or self._tenant() is None:
+            return
+        job, cancelled = jobs.cancel(match.group(1))
+        if job is None:
+            self._reply_json(404, {"error": "no such job"})
+            return
+        if cancelled:
+            self._reply_json(200, {"id": job.id, "state": job.state})
+        else:
+            self._reply_json(409, {"error": f"job is {job.state}, "
+                                            "only queued jobs cancel",
+                                   "state": job.state})
+
+    def _post_job(self, split) -> None:
+        jobs = self._job_service()
+        if jobs is None:
+            return
+        tenant = self._tenant()
+        if tenant is None:
+            return
+        # an STG source is bounded by the same limit as an artifact
+        # envelope — far beyond any real .g file
+        body = self._read_body(MAX_ENTRY_BYTES)
+        if body is None:
+            return
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError:
+            self._reply_json(400, {"error": "body is not UTF-8 "
+                                            ".g text"})
+            return
+        try:
+            params = JobParams.from_query(
+                urllib.parse.parse_qs(split.query))
+            job, created = jobs.submit(text, tenant, params)
+        except QuotaExceeded as error:
+            self._reply_json(429, {"error": str(error)})
+            return
+        except (JobRequestError, ParseError) as error:
+            self._reply_json(400, {"error": str(error)})
+            return
+        self._reply_json(202 if created else 200,
+                         {"id": job.id, "name": job.name,
+                          "state": job.state, "created": created})
+
+    def _post_claim(self) -> None:
+        if self._tenant() is None:
+            return
+        body = self._read_body(MAX_CONTROL_BYTES)
+        if body is None:
+            return
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            names = payload["names"]
+        except (ValueError, KeyError, TypeError):
+            self._reply_json(400, {"error": "claim body must be JSON "
+                                            'with a "names" list'})
+            return
+        try:
+            self._reply_json(200, self.server.claims.claim(names))
+        except JobRequestError as error:
+            self._reply_json(400, {"error": str(error)})
+
+    # ------------------------------------------------------------------
     # PUT: streamed atomic uploads
     # ------------------------------------------------------------------
 
@@ -350,15 +544,34 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         # bytes still unread on the socket
         self.close_connection = True
         split = urllib.parse.urlsplit(self.path)
-        if split.path in ("/gc", "/clear"):
-            try:
-                length = int(self.headers.get("Content-Length",
-                                              "0") or 0)
-            except ValueError:
-                length = -1
-            if 0 <= length <= 65536:     # maintenance bodies are tiny
-                if len(self.rfile.read(length)) == length:
-                    self.close_connection = False
+        if split.path == "/jobs":
+            self._post_job(split)
+            return
+        if split.path == "/claim":
+            self._post_claim()
+            return
+        if split.path not in ("/gc", "/clear"):
+            self._reply(404, b"unknown path\n")
+            return
+        # Maintenance body discipline: a bad Content-Length, an
+        # oversized body, or a short read refuses the request *before*
+        # the store is touched — a half-delivered /clear must not wipe
+        # the cluster's cache.
+        try:
+            length = int(self.headers.get("Content-Length", "0") or 0)
+        except ValueError:
+            self._reply(400, b"bad Content-Length\n")
+            return
+        if length < 0:
+            self._reply(400, b"bad Content-Length\n")
+            return
+        if length > MAX_CONTROL_BYTES:   # maintenance bodies are tiny
+            self._reply(413, b"maintenance body too large\n")
+            return
+        if len(self.rfile.read(length)) != length:
+            self._reply(400, b"truncated body\n")
+            return
+        self.close_connection = False    # body fully consumed
         if split.path == "/gc":
             query = urllib.parse.parse_qs(split.query)
             try:
@@ -371,11 +584,8 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
                 return
             removed, freed = self.server.store.gc(
                 max_age_seconds=max_age, max_bytes=max_bytes)
-        elif split.path == "/clear":
-            removed, freed = self.server.store.clear()
         else:
-            self._reply(404, b"unknown path\n")
-            return
+            removed, freed = self.server.store.clear()
         self._reply_json(200, {"removed": removed, "freed": freed})
 
 
@@ -392,9 +602,35 @@ class ArtifactServer(ThreadingHTTPServer):
     allow_reuse_address = True
 
     def __init__(self, root: str, host: str = "127.0.0.1",
-                 port: int = 0, verbose: bool = False):
+                 port: int = 0, verbose: bool = False,
+                 workers: int = 0,
+                 api_keys: Optional[Sequence[str]] = None,
+                 quota: int = 0,
+                 request_timeout: Optional[float] = 30.0,
+                 upstream: Optional[Any] = None):
+        """``workers >= 1`` enables the synthesis job service;
+        ``api_keys`` locks the job API to those ``X-SI-Key`` values
+        (empty = open); ``quota`` caps active jobs per tenant (0 =
+        unlimited); ``request_timeout`` is the per-connection socket
+        timeout in seconds (``None`` disables — not recommended);
+        ``upstream`` is an optional shared artifact store (e.g. a
+        :class:`~repro.dist.remote.RemoteArtifactCache`) tiered
+        *behind* this server's disk store for job pipelines."""
         self.store = DiskArtifactCache(root)
         self.verbose = verbose
+        self.api_keys = frozenset(api_keys or ())
+        self.request_timeout = request_timeout
+        self.claims = ClaimPool()
+        self.jobs: Optional[JobService] = None
+        if workers:
+            job_store: Any = self.store
+            if upstream is not None:
+                from repro.dist.remote import TieredStore
+                job_store = TieredStore(self.store, upstream)
+            from repro.pipeline.cache import ArtifactCache
+            self.jobs = JobService(cache=ArtifactCache(disk=job_store),
+                                   workers=workers,
+                                   quota=quota).start()
         self._thread: Optional[threading.Thread] = None
         super().__init__((host, port), _StoreRequestHandler)
 
@@ -411,7 +647,7 @@ class ArtifactServer(ThreadingHTTPServer):
         two elements and keep working.
         """
         inventory = self.store.report()
-        return {
+        payload = {
             "root": inventory.root,
             "entries": inventory.entries,
             "bytes": inventory.bytes,
@@ -421,7 +657,11 @@ class ArtifactServer(ThreadingHTTPServer):
             "by_kind": {kind: list(counts) for kind, counts
                         in inventory.by_kind.items()},
             "telemetry": self.store.stats.as_dict(),
+            "claims": self.claims.stats_payload(),
         }
+        if self.jobs is not None:
+            payload["jobs"] = self.jobs.stats_payload()
+        return payload
 
     def start_background(self) -> "ArtifactServer":
         """Serve on a daemon thread (tests / embedded use)."""
@@ -433,6 +673,8 @@ class ArtifactServer(ThreadingHTTPServer):
 
     def stop(self) -> None:
         """Shut the accept loop down and release the socket."""
+        if self.jobs is not None:
+            self.jobs.stop()
         self.shutdown()
         self.server_close()
         if self._thread is not None:

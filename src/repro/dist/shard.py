@@ -71,7 +71,8 @@ def shard_payload(names: Sequence[str], shard: Tuple[int, int],
                   libraries: Sequence[int], with_siegel: bool,
                   mapper_fingerprint: Optional[str],
                   rows: Sequence, failures: Sequence[Tuple[str, str]],
-                  telemetry: Optional[Dict[str, int]] = None) -> Dict:
+                  telemetry: Optional[Dict[str, int]] = None,
+                  claimed: Optional[Sequence[str]] = None) -> Dict:
     """The JSON document of one shard run.
 
     ``rows`` are :class:`~repro.report.Table1Row` objects;
@@ -84,6 +85,13 @@ def shard_payload(names: Sequence[str], shard: Tuple[int, int],
     the merge identity (two shards of one run legitimately have
     different hit counts) and not required by readers (files from
     pre-telemetry builds merge fine).
+
+    ``claimed`` records a *work-stealing* partition: the circuits this
+    worker pulled from the serve daemon's ``POST /claim`` pool
+    (``report --shard i/N --claim``) instead of the static hash
+    partition.  When present, the merge validates rows against the
+    recorded claims — and their disjointness across shards — rather
+    than against :func:`shard_names`.
     """
     payload = {
         "schema": SHARD_SCHEMA,
@@ -98,6 +106,8 @@ def shard_payload(names: Sequence[str], shard: Tuple[int, int],
     if telemetry:
         payload["telemetry"] = {key: int(value) for key, value
                                 in sorted(telemetry.items())}
+    if claimed is not None:
+        payload["claimed"] = list(claimed)
     return payload
 
 
@@ -190,11 +200,44 @@ def merge_shards(payloads: Sequence[Dict]
             f"of {count} — merge needs all {count} shard files")
 
     names: List[str] = payloads[0]["names"]
+    stolen = ["claimed" in payload for payload in payloads]
+    if any(stolen) and not all(stolen):
+        raise ShardError(
+            "some shards used --claim work stealing and some the "
+            "static partition — they are not shards of one run")
+    if all(stolen):
+        # work-stealing partitions are whatever the claim pool handed
+        # out; the merge still proves they tile the circuit list
+        claims_seen: Dict[str, int] = {}
+        for payload in payloads:
+            index = payload["shard"][0]
+            claimed = payload["claimed"]
+            if (not isinstance(claimed, list)
+                    or not all(isinstance(name, str)
+                               for name in claimed)):
+                raise ShardError(
+                    f"shard {index}/{count} has a malformed claimed "
+                    "list — re-run that shard")
+            for name in claimed:
+                if name not in set(names):
+                    raise ShardError(
+                        f"shard {index}/{count} claims {name!r}, "
+                        "which is not in the circuit list")
+                if name in claims_seen:
+                    raise ShardError(
+                        f"{name!r} was claimed by both shard "
+                        f"{claims_seen[name]}/{count} and shard "
+                        f"{index}/{count} — the claim pool never "
+                        "hands a circuit out twice, so these files "
+                        "mix separate runs")
+                claims_seen[name] = index
+
     rows_by_name: Dict[str, Table1Row] = {}
     failures_by_name: Dict[str, str] = {}
     for payload in payloads:
         index = payload["shard"][0]
-        expected = set(shard_names(names, index, count))
+        expected = (set(payload["claimed"]) if "claimed" in payload
+                    else set(shard_names(names, index, count)))
         for row_json in payload["rows"]:
             try:
                 row = Table1Row.from_json(row_json)

@@ -89,6 +89,19 @@ class VerificationError(ReproError):
     """A mapped circuit failed speed-independence verification."""
 
 
+class ServiceError(ReproError):
+    """A synthesis-service request failed (unreachable server, auth
+    rejection, quota, failed or timed-out job).
+
+    Raised by :class:`repro.dist.client.ServiceClient`; the CLI
+    reports it as a clean user/operational error, never a traceback.
+    """
+
+    def __init__(self, message: str, status: int = 0):
+        self.status = status
+        super().__init__(message)
+
+
 class StoreConfigError(ReproError):
     """An artifact-store configuration cannot be honoured (malformed
     ``--cache-s3`` spec, conflicting backends, missing client library).

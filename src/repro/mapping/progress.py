@@ -1,4 +1,5 @@
-"""Progress analysis: Properties 3.1 and 3.2 of the paper.
+"""Progress analysis: Properties 3.1 and 3.2 of the paper — and the
+progress-*event* hooks the synthesis service streams to clients.
 
 Both properties are *filters over the original SG* — they are checked
 before any insertion happens ("the conditions can be efficiently checked
@@ -10,12 +11,23 @@ In this implementation they guide candidate *ranking*; final soundness
 comes from resynthesis plus full verification after the insertion, so a
 filter that is slightly conservative or slightly optimistic only costs
 search time, never correctness.
+
+The hook layer at the bottom (:class:`ProgressEvent`,
+:func:`progress_hook`, :func:`emit_progress`) is how long-running flows
+report progress without knowing who is listening: the pipeline emits a
+start/done event per stage, and an observer — the ``si-mapper serve``
+job runner, a CLI spinner, a test spy — installs a per-thread callback
+around the run.  Hooks are thread-local, so concurrent jobs in one
+process each see only their own events.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
+                    Set, Tuple)
 
 from repro.boolean.sop import SopCover
 from repro.mapping.partition import IPartition
@@ -33,34 +45,28 @@ def _extended_quiescent(sg: StateGraph, region: ExcitationRegion,
     The restricted quiescent region extended with the excitation
     regions of the *following* transitions of the signal whenever the
     new signal's falling transition becomes a trigger for them (the
-    falling edge of ``x`` then happens inside what used to be the
-    quiescent region, stretching the monotonicity obligation to the
-    next excitation).
+    falling edge of ``x`` then happens on the doorstep of — or inside —
+    the next excitation, stretching the monotonicity obligation to it).
+
+    A following ER is one entered directly from the quiescent region.
+    Quiescent states themselves are never signal-excited (the stable
+    closure excludes them by construction), so the following ERs are
+    found through the region adjacency, not by scanning quiescent
+    states for own-signal successor arcs; ``x-`` counts as a trigger
+    when ``ER(x-)`` meets the next ER or any of its entry states.
     """
     quiescent = quiescent_region(sg, region, siblings)
     extended = set(quiescent)
     signal = region.signal
-    for state in quiescent:
-        for event, target in sg.successors(state):
-            if event_signal(event) != signal:
-                continue
-            # target is inside an ER of the next transition of the
-            # signal; include that ER if x- fires on its doorstep.
-        if state in partition.er_minus:
-            for event, target in sg.successors(state):
-                if event_signal(event) == signal:
-                    for er in excitation_regions(sg, event):
-                        if state in er.states or target in er.states:
-                            extended |= er.states
-    # Also: states of the signal's next ERs directly entered from the
-    # quiescent region while x- is still pending there.
     for direction in ("+", "-"):
         for er in excitation_regions(sg, signal + direction):
             if er.states & quiescent:
                 continue
             doorstep = {source for s in er.states
                         for _, source in sg.predecessors(s)}
-            if doorstep & (quiescent & partition.er_minus):
+            if not doorstep & quiescent:
+                continue          # not a following ER of this region
+            if (er.states | doorstep) & partition.er_minus:
                 extended |= er.states
     return extended
 
@@ -248,3 +254,81 @@ def estimate_global_impact(sg: StateGraph,
         else:
             unbounded += 1
     return bounded, unbounded
+
+
+# ----------------------------------------------------------------------
+# Progress-event hooks
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One step of a long-running synthesis flow.
+
+    ``stage`` is a pipeline stage name (``load``/``reach``/``csc``/…),
+    ``status`` is ``"start"``, ``"done"`` or ``"note"``; ``seconds``
+    carries the stage wall-clock on ``done`` events.
+    """
+
+    stage: str
+    status: str = "note"
+    detail: str = ""
+    seconds: Optional[float] = None
+
+    def to_json(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"stage": self.stage,
+                                      "status": self.status}
+        if self.detail:
+            payload["detail"] = self.detail
+        if self.seconds is not None:
+            payload["seconds"] = round(self.seconds, 6)
+        return payload
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+#: per-thread observer stack — concurrent jobs in one process each see
+#: only the events of their own pipeline run
+_hooks = threading.local()
+
+
+def _hook_stack() -> List[ProgressCallback]:
+    stack = getattr(_hooks, "stack", None)
+    if stack is None:
+        stack = []
+        _hooks.stack = stack
+    return stack
+
+
+@contextmanager
+def progress_hook(callback: ProgressCallback) -> Iterator[ProgressCallback]:
+    """Observe every :func:`emit_progress` of the current thread.
+
+    Hooks nest: the innermost is called first, and all installed hooks
+    of the thread see every event.
+    """
+    stack = _hook_stack()
+    stack.append(callback)
+    try:
+        yield callback
+    finally:
+        stack.remove(callback)
+
+
+def emit_progress(stage: str, status: str = "note", detail: str = "",
+                  seconds: Optional[float] = None) -> None:
+    """Report one progress event to the current thread's observers.
+
+    A no-op without observers (the common, non-service case), and an
+    observer that raises never kills the synthesis it is watching —
+    progress reporting is telemetry, not control flow.
+    """
+    stack = _hook_stack()
+    if not stack:
+        return
+    event = ProgressEvent(stage, status, detail, seconds)
+    for callback in reversed(list(stack)):
+        try:
+            callback(event)
+        except Exception:  # si-lint: disable=exc-broad-degrade
+            # a broken observer must not fail the run it observes
+            continue

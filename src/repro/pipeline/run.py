@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.mapping.decompose import MapperConfig, MappingResult
+from repro.mapping.progress import emit_progress
 from repro.pipeline.cache import ArtifactCache
 from repro.pipeline.context import SynthesisContext
 from repro.stg.stg import Stg
@@ -166,12 +167,14 @@ class PipelineConfig:
 
 @contextmanager
 def _timed(record: RunRecord, stage: str):
+    emit_progress(stage, "start")
     start = time.perf_counter()
     try:
         yield
     finally:
-        record.timings.append(
-            StageTiming(stage, time.perf_counter() - start))
+        seconds = time.perf_counter() - start
+        record.timings.append(StageTiming(stage, seconds))
+        emit_progress(stage, "done", seconds=seconds)
 
 
 class Pipeline:

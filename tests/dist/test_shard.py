@@ -185,6 +185,66 @@ class TestMerge:
             merge_shards([])
 
 
+class TestMergeClaimed:
+    """Work-stealing shards: the recorded claims replace the static
+    hash partition as the merge's row-validation source."""
+
+    NAMES = ["half", "dff", "hazard"]
+
+    def _payloads(self):
+        # deliberately NOT the hash partition: worker 1 stole two
+        return [
+            shard_payload(self.NAMES, (1, 2), (2,), False, None,
+                          [_row("half"), _row("hazard")], [],
+                          claimed=["half", "hazard"]),
+            shard_payload(self.NAMES, (2, 2), (2,), False, None,
+                          [_row("dff")], [], claimed=["dff"]),
+        ]
+
+    def test_claimed_partition_merges(self):
+        rows, failures, text = merge_shards(self._payloads())
+        assert [row.name for row in rows] == self.NAMES
+        assert failures == []
+        assert text == render_report(rows, [])
+
+    def test_rows_validated_against_claims(self):
+        first, second = self._payloads()
+        second["rows"].append(_row("hazard").to_json())  # not its claim
+        with pytest.raises(ShardError, match="not in its partition"):
+            merge_shards([first, second])
+
+    def test_overlapping_claims_refused(self):
+        first, second = self._payloads()
+        second["claimed"].append("hazard")
+        with pytest.raises(ShardError, match="claimed by both"):
+            merge_shards([first, second])
+
+    def test_claim_of_unknown_circuit_refused(self):
+        first, second = self._payloads()
+        second["claimed"].append("mystery")
+        with pytest.raises(ShardError, match="not in the circuit"):
+            merge_shards([first, second])
+
+    def test_mixed_static_and_claimed_refused(self):
+        first, second = self._payloads()
+        del second["claimed"]
+        with pytest.raises(ShardError, match="work stealing"):
+            merge_shards([first, second])
+
+    def test_malformed_claimed_list_refused(self):
+        first, second = self._payloads()
+        second["claimed"] = "dff"
+        with pytest.raises(ShardError, match="malformed claimed"):
+            merge_shards([first, second])
+
+    def test_unclaimed_circuit_is_unaccounted(self):
+        first, second = self._payloads()
+        first["claimed"] = ["half"]
+        first["rows"] = [_row("half").to_json()]
+        with pytest.raises(ShardError, match="accounted"):
+            merge_shards([first, second])
+
+
 def _report_lines(text):
     """The report body: progress lines stripped, trailing noise kept."""
     return [line for line in text.splitlines()
