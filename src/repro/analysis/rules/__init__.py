@@ -4,8 +4,9 @@ A rule is a small object that subscribes to AST node types
 (:attr:`Rule.interests`) and yields
 :class:`~repro.analysis.findings.Finding` objects from :meth:`Rule.
 check`.  Rules register themselves with the :func:`register` decorator
-at import time; the four built-in families — determinism, concurrency,
-pickle safety, degradation hygiene — are imported at the bottom of
+at import time; the built-in families — determinism, concurrency,
+pickle safety, degradation hygiene, observability — are imported at
+the bottom of
 this module, so ``from repro.analysis.rules import all_rules`` always
 sees the full set.  A rule may emit under more than one rule *id*
 (:attr:`Rule.ids`) when one mechanism covers sibling bug classes
@@ -91,4 +92,5 @@ def select_rules(ids: Tuple[str, ...]) -> Tuple[Rule, ...]:
 from repro.analysis.rules import concurrency      # noqa: E402,F401
 from repro.analysis.rules import degradation      # noqa: E402,F401
 from repro.analysis.rules import determinism      # noqa: E402,F401
+from repro.analysis.rules import observability    # noqa: E402,F401
 from repro.analysis.rules import pickle_safety    # noqa: E402,F401

@@ -1,0 +1,62 @@
+"""Observability rule: telemetry instruments mutate only through
+their locked API.
+
+:mod:`repro.obs.metrics` instruments (Counter / Gauge / Histogram) are
+shared across every thread that updates them — the registry hands out
+one instance per metric name, and a serve daemon's handler threads all
+hit the same objects.  Their ``inc``/``dec``/``set``/``observe``
+methods take the instrument's internal lock; poking an instrument's
+fields directly (``hits._totals[key] += 1``) is the same lost-update
+race the ``conc-*`` family guards against, and it also lets the
+``/metrics`` exposition read a half-updated snapshot.
+
+* ``obs-unlocked-instrument`` — assignment or augmented assignment to
+  any attribute/subscript of a name bound to a
+  ``registry.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)``
+  result, outside a ``with <lock>:`` block.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+from repro.analysis.scopes import INSTRUMENT, attr_chain
+
+
+@register
+class UnlockedInstrumentRule(Rule):
+    """Direct field writes on shared telemetry instruments."""
+
+    ids = ("obs-unlocked-instrument",)
+    descriptions = {
+        "obs-unlocked-instrument":
+            "direct field write on a shared metrics instrument "
+            "bypasses its lock — use inc()/set()/observe()",
+    }
+    interests = (ast.Assign, ast.AugAssign)
+
+    def check(self, node: ast.AST, ctx) -> Iterator[Finding]:
+        assert isinstance(node, (ast.Assign, ast.AugAssign))
+        if ctx.in_lock:
+            return
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        for target in targets:
+            # only *field* writes: rebinding the name itself is fine
+            if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                continue
+            chain = attr_chain(target)
+            if chain is None or len(chain) < 2:
+                continue
+            if ctx.scope.bindings.get(chain[0]) != INSTRUMENT:
+                continue
+            yield ctx.finding(
+                node, "obs-unlocked-instrument", "error",
+                f"'{'.'.join(chain)}' writes a shared metrics "
+                "instrument's fields directly — concurrent updates "
+                "are lost and /metrics can observe a torn snapshot",
+                "go through the instrument API (inc()/dec()/set()/"
+                "observe()); it takes the internal lock")

@@ -14,6 +14,9 @@ in speculation about parameters and attributes:
   ``os.listdir``/``os.scandir``/``os.walk``, ``glob.glob``/``iglob``,
   ``Path.iterdir``/``glob``/``rglob``;
 * :data:`ORDERED` — explicitly sorted (``sorted(...)``);
+* :data:`INSTRUMENT` — a shared telemetry instrument handed out by a
+  metrics registry (``registry.counter/gauge/histogram(...)``) — the
+  observability rules flag direct field writes on these;
 * :data:`UNKNOWN` — everything else, including parameters and
   attributes.  Unknown never fires a rule: the analyzer only flags what
   it can locally *prove* is unordered, which keeps precision high and
@@ -32,6 +35,7 @@ from typing import Dict, Iterator, List, Optional, Set, Union
 SET = "set"
 LISTING = "listing"
 ORDERED = "ordered"
+INSTRUMENT = "instrument"
 UNKNOWN = "unknown"
 
 #: module-level callables that enumerate a directory in filesystem
@@ -49,6 +53,10 @@ LISTING_METHODS: Set[str] = {"iterdir", "glob", "rglob", "scandir"}
 #: set methods that return another set when the receiver is one
 SET_METHODS: Set[str] = {"union", "intersection", "difference",
                          "symmetric_difference", "copy"}
+
+#: registry factory methods handing out shared, internally locked
+#: telemetry instruments (:mod:`repro.obs.metrics`)
+INSTRUMENT_METHODS: Set[str] = {"counter", "gauge", "histogram"}
 
 ScopeNode = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef,
                   ast.Lambda]
@@ -120,6 +128,8 @@ def infer(node: Optional[ast.AST],
         if isinstance(node.func, ast.Attribute):
             if node.func.attr in LISTING_METHODS:
                 return LISTING
+            if node.func.attr in INSTRUMENT_METHODS:
+                return INSTRUMENT
             if (node.func.attr in SET_METHODS
                     and infer(node.func.value, bindings) == SET):
                 return SET

@@ -20,6 +20,9 @@ Sub-commands:
 * ``si-mapper submit circuit.g --url URL`` — synthesize on a remote
   ``serve`` daemon: POST the STG, poll the job, print the Table-1 row
   as canonical JSON (byte-identical to the local run's row);
+* ``si-mapper trace run.trace.json [--tree]`` — summarize a trace
+  file recorded by ``--trace`` (``map``/``report``/``submit`` all
+  take it; the JSON also loads in Perfetto / ``chrome://tracing``);
 * ``si-mapper bench-list`` — list the benchmark suite;
 * ``si-mapper show NAME`` — print a built-in benchmark as ``.g``;
 * ``si-mapper cache stats|gc|clear`` — inspect or maintain the
@@ -421,14 +424,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     api_keys = tuple(part.strip()
                      for chunk in (args.api_keys or [])
                      for part in chunk.split(",") if part.strip())
+    from repro.dist.jobs import DEFAULT_RETAIN
     from repro.dist.server import ArtifactServer
+    retain = (args.retain_jobs if args.retain_jobs is not None
+              else DEFAULT_RETAIN)
     try:
         server = ArtifactServer(directory, host=args.host,
                                 port=args.port, verbose=args.verbose,
                                 workers=args.workers,
                                 api_keys=api_keys, quota=args.quota,
                                 request_timeout=args.request_timeout,
-                                upstream=upstream)
+                                upstream=upstream,
+                                retain_jobs=retain)
     except OSError as error:
         # bind failures (port taken, bad host) are operational errors,
         # not tracebacks
@@ -495,6 +502,21 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         deadline_seconds=args.timeout, on_progress=narrate)
     sys.stdout.buffer.write(row_bytes)
     sys.stdout.buffer.flush()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize a recorded ``--trace`` file (or any Chrome trace)."""
+    from repro.obs.trace import (format_summary, format_tree,
+                                 load_trace, summarize_trace)
+    events = load_trace(args.file)
+    if not events:
+        print(f"{args.file}: no spans")
+        return 0
+    if args.tree:
+        print(format_tree(events, max_lines=args.max_lines))
+    else:
+        print(format_summary(summarize_trace(events), top=args.top))
     return 0
 
 
@@ -606,8 +628,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "tiers in front of the bucket (default: "
                               f"${CACHE_S3_ENV} if set)")
 
+    # shared by the compute commands: span-trace recording
+    tracing = argparse.ArgumentParser(add_help=False)
+    tracing.add_argument("--trace", default=None, metavar="FILE",
+                         help="record this run as Chrome trace-event "
+                              "JSON (loadable in Perfetto / "
+                              "chrome://tracing; inspect with "
+                              "'si-mapper trace FILE')")
+
     p_map = sub.add_parser("map", help="map an STG into a library",
-                           parents=[caching])
+                           parents=[caching, tracing])
     p_map.add_argument("circuit", help=".g file (or a built-in "
                                        "benchmark name)")
     p_map.add_argument("-k", "--literals", type=int, default=2,
@@ -644,7 +674,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_report = sub.add_parser("report",
                               help="regenerate Table 1 (or a subset)",
-                              parents=[caching])
+                              parents=[caching, tracing])
     p_report.add_argument("names", nargs="*",
                           help="benchmark names (default: all 32)")
     p_report.add_argument("-k", "--literals", type=int, nargs="+",
@@ -710,6 +740,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--quota", type=int, default=0, metavar="N",
                          help="max queued+running jobs per tenant "
                               "(default 0 = unlimited)")
+    p_serve.add_argument("--retain-jobs", type=int, default=None,
+                         metavar="N",
+                         help="finished jobs kept in memory; older "
+                              "rows spill to the artifact store and "
+                              "restore on demand (default 512)")
     p_serve.add_argument("--request-timeout", type=float,
                          default=30.0, metavar="SECONDS",
                          help="per-connection socket timeout so "
@@ -721,7 +756,7 @@ def build_parser() -> argparse.ArgumentParser:
         "submit",
         help="synthesize on a remote serve daemon and print the "
              "Table-1 row as canonical JSON",
-        parents=[caching])
+        parents=[caching, tracing])
     p_submit.add_argument("circuit", help=".g file (or a built-in "
                                           "benchmark name)")
     p_submit.add_argument("--url", default=None, metavar="URL",
@@ -805,6 +840,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_csc.add_argument("--dot", help="write the solved SG as GraphViz")
     p_csc.set_defaults(func=_cmd_csc)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="summarize a trace file recorded with --trace")
+    p_trace.add_argument("file", help="Chrome trace-event JSON "
+                                      "(written by --trace)")
+    p_trace.add_argument("--top", type=int, default=None, metavar="N",
+                         help="only the N most expensive span names")
+    p_trace.add_argument("--tree", action="store_true",
+                         help="print the per-thread span tree instead "
+                              "of the by-name summary")
+    p_trace.add_argument("--max-lines", type=int, default=200,
+                         metavar="N",
+                         help="with --tree: truncate after N lines "
+                              "(default 200)")
+    p_trace.set_defaults(func=_cmd_trace)
+
     p_list = sub.add_parser("bench-list", help="list the benchmarks",
                             parents=[caching])
     p_list.set_defaults(func=_cmd_bench_list)
@@ -871,7 +922,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        trace_out = getattr(args, "trace", None)
+        if not trace_out:
+            return args.func(args)
+        # --trace: run the command under an active tracer, then dump
+        # the span tree as Chrome trace-event JSON.  A failing command
+        # still writes its partial trace — that is when you want it.
+        from repro.obs.trace import Tracer, write_chrome_trace
+        tracer = Tracer()
+        try:
+            with tracer.activate():
+                return args.func(args)
+        finally:
+            count = write_chrome_trace(trace_out, tracer)
+            print(f"trace: {count} span(s) written to {trace_out}",
+                  file=sys.stderr)
     except ReproError as error:
         # includes UnknownBenchmarkError; a genuine KeyError bug deep
         # in the mapper keeps its traceback

@@ -45,21 +45,30 @@ class ServiceClient:
     def _request(self, method: str, path: str,
                  body: Optional[bytes] = None
                  ) -> Tuple[int, bytes]:
+        from repro.obs.trace import trace_span
         request = urllib.request.Request(
             self.base_url + path, data=body, method=method)
         if self.api_key is not None:
             request.add_header("X-SI-Key", self.api_key)
-        try:
-            with urllib.request.urlopen(
-                    request, timeout=self.timeout) as response:
-                return response.status, response.read()
-        except urllib.error.HTTPError as error:
-            # error replies carry a JSON body worth surfacing
-            return error.code, error.read()
-        except (urllib.error.URLError, OSError) as error:
-            raise ServiceError(
-                f"cannot reach synthesis service at {self.base_url}: "
-                f"{getattr(error, 'reason', error)}") from error
+        with trace_span("client.request", "http", method=method,
+                        path=path.split("?")[0]) as span:
+            try:
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout) as response:
+                    status, payload = response.status, response.read()
+            except urllib.error.HTTPError as error:
+                # error replies carry a JSON body worth surfacing
+                status, payload = error.code, error.read()
+            except (urllib.error.URLError, OSError) as error:
+                if span is not None:
+                    span["status"] = "unreachable"
+                raise ServiceError(
+                    f"cannot reach synthesis service at "
+                    f"{self.base_url}: "
+                    f"{getattr(error, 'reason', error)}") from error
+            if span is not None:
+                span["status"] = status
+            return status, payload
 
     @staticmethod
     def _json(payload: bytes) -> Dict:

@@ -67,7 +67,18 @@ ARTIFACT_FORMATS: Dict[str, int] = {
     "netlist": 1,
     "check": 1,
     "map": 1,
+    # finished job rows spilled by the serve daemon's retention layer
+    "jobrow": 1,
 }
+
+
+def _codec_ops(op: str, codec: str) -> None:
+    """Count one envelope codec operation on the process registry."""
+    from repro.obs.metrics import default_registry
+    default_registry().counter(
+        "si_envelope_ops_total",
+        "Envelope encode/decode/transcode operations by outcome.",
+        ("op", "codec")).inc(op=op, codec=codec)
 
 
 # ----------------------------------------------------------------------
@@ -250,6 +261,7 @@ def encode_entry(key: Hashable, value: Any, version: int,
         codec, body = "identity", payload
     header = {"format": version, "key": repr(key), "codec": codec,
               "raw_size": len(payload)}
+    _codec_ops("encode", codec)
     return _pack(header, body)
 
 
@@ -266,21 +278,30 @@ def decode_entry(data: bytes, key: Hashable,
     """
     parsed = read_header(data)
     if parsed is None:
+        _codec_ops("decode_error", "unknown")
         return "error", None
     header, offset = parsed
-    if header["format"] != expected or header["key"] != repr(key):
-        return "stale", None
     codec = header.get("codec", "identity")
+    if not isinstance(codec, str):
+        codec = "unknown"
+    if header["format"] != expected or header["key"] != repr(key):
+        _codec_ops("decode_stale", codec)
+        return "stale", None
     if codec not in _CODECS:
+        _codec_ops("decode_stale", codec)
         return "stale", None
     try:
         payload = _CODECS[codec][1](data[offset:])
     except Exception:
+        _codec_ops("decode_error", codec)
         return "error", None
     try:
-        return "hit", pickle.loads(payload)
+        value = pickle.loads(payload)
     except Exception:
+        _codec_ops("decode_error", codec)
         return "error", None
+    _codec_ops("decode_hit", codec)
+    return "hit", value
 
 
 def transcode(data: bytes, codec: str) -> Optional[bytes]:
@@ -313,4 +334,5 @@ def transcode(data: bytes, codec: str) -> Optional[bytes]:
     new_header = dict(header)
     new_header["codec"] = codec
     new_header["raw_size"] = len(payload)
+    _codec_ops("transcode", codec)
     return _pack(new_header, body)

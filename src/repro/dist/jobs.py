@@ -38,11 +38,13 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.mapping.decompose import MapperConfig
 from repro.mapping.progress import ProgressEvent, progress_hook
+from repro.obs.metrics import default_registry
+from repro.obs.trace import Tracer
 from repro.stg.parser import parse_g
 from repro.stg.writer import write_g
 
@@ -57,6 +59,20 @@ ACTIVE_STATES = (QUEUED, RUNNING)
 
 #: bump when job-id derivation or the status document changes shape
 JOB_SCHEMA = "si-job/1"
+
+#: schema stamp of a spilled job row (the ``jobrow`` artifact kind)
+JOBROW_SCHEMA = "si-jobrow/1"
+
+#: how many finished jobs the service keeps resident by default once
+#: their rows are spilled to the artifact store; 0 = keep everything
+DEFAULT_RETAIN = 512
+
+
+def _jobs_event(event: str, amount: int = 1) -> None:
+    """Count one job-service lifecycle event on the process registry."""
+    default_registry().counter(
+        "si_jobs_total", "Job service lifecycle events.",
+        ("event",)).inc(amount, event=event)
 
 
 class QuotaExceeded(ReproError):
@@ -114,6 +130,20 @@ class JobParams:
         return cls(libraries=libraries, with_siegel=with_siegel,
                    solve_csc=solve_csc, csc_method=csc_method)
 
+    @classmethod
+    def from_fingerprint(cls, payload: "Dict[str, Any]"
+                         ) -> "JobParams":
+        """Rebuild params from a parsed :meth:`fingerprint` document
+        (what a spilled job row stores)."""
+        libraries = payload.get("libraries")
+        if not isinstance(libraries, (list, tuple)):
+            raise ReproError(f"bad job params payload: {payload!r}")
+        return cls(
+            libraries=tuple(int(k) for k in libraries),
+            with_siegel=bool(payload.get("with_siegel")),
+            solve_csc=bool(payload.get("solve_csc")),
+            csc_method=str(payload.get("csc_method", "blocks")))
+
     def to_query(self) -> str:
         """The query string a client sends to request these params."""
         parts = [f"k={','.join(str(k) for k in self.libraries)}"]
@@ -164,9 +194,12 @@ class Job:
     error: Optional[str] = None
     result: Optional[bytes] = None    # canonical row bytes when DONE
     events: List[Dict[str, object]] = field(default_factory=list)
+    trace: Optional[List[Dict[str, object]]] = None  # keep_trace spans
     _enqueued_at: float = 0.0         # monotonic, for latency counters
     _started_at: float = 0.0
     _finished_at: float = 0.0
+    _spilled: bool = False            # row persisted under ``jobrow``
+    _restored: bool = False           # rebuilt from a spilled row
 
     def timings(self) -> Dict[str, float]:
         """Per-stage wall-clock seconds, from the ``done`` events."""
@@ -212,17 +245,22 @@ class JobService:
     store exactly like CLI runs do.
     """
 
-    def __init__(self, cache=None, workers: int = 2, quota: int = 0):
+    def __init__(self, cache=None, workers: int = 2, quota: int = 0,
+                 retain: int = DEFAULT_RETAIN,
+                 keep_trace: bool = False):
         if workers < 1:
             raise ValueError("a job service needs at least one worker")
         self._cache = cache               # ArtifactCache or None
         self.quota = quota                # 0 = unlimited
+        self.retain = max(0, retain)      # resident DONE jobs; 0 = all
+        self.keep_trace = keep_trace
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
         self._counters = {
             "submitted": 0, "deduplicated": 0, "quota_rejections": 0,
             "completed": 0, "failed": 0, "cancelled": 0,
+            "evicted": 0, "restored": 0,
             "wait_seconds": 0.0, "run_seconds": 0.0,
         }
         self._threads = [
@@ -269,11 +307,15 @@ class JobService:
         stg = parse_g(g_text)           # ParseError propagates (400)
         canonical = write_g(stg)
         job_id = job_id_of(canonical, params)
+        # a finished row spilled by a previous daemon incarnation
+        # deduplicates exactly like a resident DONE job
+        self.get(job_id)
         with self._lock:
             existing = self._jobs.get(job_id)
             if existing is not None and existing.state in (
                     QUEUED, RUNNING, DONE):
                 self._counters["deduplicated"] += 1
+                _jobs_event("deduplicated")
                 return existing, False
             if self.quota:
                 active = sum(1 for job in self._jobs.values()
@@ -281,6 +323,7 @@ class JobService:
                              and job.state in ACTIVE_STATES)
                 if active >= self.quota:
                     self._counters["quota_rejections"] += 1
+                    _jobs_event("quota_rejected")
                     raise QuotaExceeded(
                         f"tenant already has {active} active job(s) "
                         f"(quota {self.quota})")
@@ -289,12 +332,16 @@ class JobService:
                       _enqueued_at=time.monotonic())
             self._jobs[job_id] = job
             self._counters["submitted"] += 1
+            _jobs_event("submitted")
             self._queue.put(job_id)
             return job, True
 
     def get(self, job_id: str) -> Optional[Job]:
         with self._lock:
-            return self._jobs.get(job_id)
+            job = self._jobs.get(job_id)
+        if job is None:
+            job = self._restore(job_id)
+        return job
 
     def cancel(self, job_id: str) -> Tuple[Optional[Job], bool]:
         """Cancel a queued job; returns ``(job, cancelled)``.
@@ -312,6 +359,7 @@ class JobService:
                 return job, False
             job.state = CANCELLED
             self._counters["cancelled"] += 1
+            _jobs_event("cancelled")
             return job, True
 
     def stats_payload(self) -> Dict[str, object]:
@@ -335,6 +383,8 @@ class JobService:
             "completed": counters["completed"],
             "failed": counters["failed"],
             "cancelled": counters["cancelled"],
+            "evicted": counters["evicted"],
+            "restored": counters["restored"],
             "wait_seconds_total": round(counters["wait_seconds"], 6),
             "run_seconds_total": round(counters["run_seconds"], 6),
             "wait_seconds_mean": round(
@@ -342,6 +392,98 @@ class JobService:
             "run_seconds_mean": round(
                 counters["run_seconds"] / completed, 6),
         }
+
+    # ------------------------------------------------------------------
+    # Result retention: spill / evict / restore
+    # ------------------------------------------------------------------
+
+    @property
+    def _row_store(self):
+        """The artifact store under the shared cache, if any — where
+        finished rows spill as ``jobrow`` entries."""
+        return getattr(self._cache, "disk", None)
+
+    def _spill(self, job: Job) -> None:
+        """Persist a finished job's row so memory eviction and daemon
+        restarts cannot lose it.  Best-effort: a store-less service
+        (or an unwritable store) simply keeps everything resident."""
+        store = self._row_store
+        if store is None or job.result is None:
+            return
+        payload = {
+            "schema": JOBROW_SCHEMA,
+            "id": job.id,
+            "name": job.name,
+            "g_text": job.g_text,
+            "params": json.loads(job.params.fingerprint()),
+            "key": job.key,
+            "created": job.created,
+            "result": job.result,
+            "events": list(job.events),
+            "wait_seconds": job._started_at - job._enqueued_at,
+            "run_seconds": job._finished_at - job._started_at,
+        }
+        store.put(("jobrow", job.id), payload)
+        with self._lock:
+            job._spilled = True
+        self._evict_excess()
+
+    def _evict_excess(self) -> None:
+        """Drop the oldest spilled DONE jobs beyond the retention
+        bound; their rows stay fetchable through :meth:`_restore`."""
+        if not self.retain:
+            return
+        with self._lock:
+            spilled = sorted(
+                (job for job in self._jobs.values()
+                 if job.state == DONE and job._spilled),
+                key=lambda job: job._finished_at)
+            excess = spilled[:max(0, len(spilled) - self.retain)]
+            for job in excess:
+                del self._jobs[job.id]
+                self._counters["evicted"] += 1
+        if excess:
+            _jobs_event("evicted", len(excess))
+
+    def _restore(self, job_id: str) -> Optional[Job]:
+        """Rebuild an evicted (or pre-restart) job from its spilled
+        row; returns ``None`` when no row exists."""
+        store = self._row_store
+        if store is None:
+            return None
+        from repro.pipeline.store import MISS
+        payload = store.get(("jobrow", job_id))
+        if payload is MISS or not isinstance(payload, dict):
+            return None
+        if payload.get("schema") != JOBROW_SCHEMA \
+                or payload.get("id") != job_id:
+            return None
+        try:
+            params = JobParams.from_fingerprint(payload["params"])
+            job = Job(
+                id=job_id,
+                name=str(payload["name"]),
+                g_text=str(payload["g_text"]),
+                params=params,
+                key=str(payload.get("key", "")),
+                state=DONE,
+                created=float(payload.get("created", 0.0)),
+                result=bytes(payload["result"]),
+                events=list(payload.get("events", [])),
+                _spilled=True,
+                _restored=True,
+            )
+        except (KeyError, TypeError, ValueError, ReproError):
+            return None                   # alien or torn row: a miss
+        with self._lock:
+            existing = self._jobs.get(job_id)
+            if existing is not None:
+                return existing
+            self._jobs[job_id] = job
+            self._counters["restored"] += 1
+        _jobs_event("restored")
+        self._evict_excess()
+        return job
 
     # ------------------------------------------------------------------
     # Worker pool
@@ -375,10 +517,19 @@ class JobService:
             mapper=MapperConfig(solve_csc=job.params.solve_csc,
                                 csc_method=job.params.csc_method),
             keep_artifacts=False)
+        tracer = Tracer() if self.keep_trace else None
         try:
             with progress_hook(observe):
-                record = Pipeline(config, cache=self._cache).run(
-                    (job.name, job.g_text))
+                if tracer is not None:
+                    with tracer.activate():
+                        with tracer.span("job", "job", id=job.id,
+                                         circuit=job.name):
+                            record = Pipeline(
+                                config, cache=self._cache).run(
+                                    (job.name, job.g_text))
+                else:
+                    record = Pipeline(config, cache=self._cache).run(
+                        (job.name, job.g_text))
             result = canonical_row_bytes(record.row)
         except Exception as error:  # si-lint: disable=exc-broad-degrade
             # the job, not the service, fails: any pipeline error (CSC
@@ -390,16 +541,33 @@ class JobService:
                 job.error = f"{type(error).__name__}: {error}"
                 job._finished_at = time.monotonic()
                 self._counters["failed"] += 1
+                if tracer is not None:
+                    job.trace = [span.to_json()
+                                 for span in tracer.snapshot()]
+            _jobs_event("failed")
             return
         with self._lock:
             job.state = DONE
             job.result = result
             job._finished_at = time.monotonic()
             self._counters["completed"] += 1
-            self._counters["wait_seconds"] += (job._started_at
-                                               - job._enqueued_at)
-            self._counters["run_seconds"] += (job._finished_at
-                                              - job._started_at)
+            wait = job._started_at - job._enqueued_at
+            run = job._finished_at - job._started_at
+            self._counters["wait_seconds"] += wait
+            self._counters["run_seconds"] += run
+            if tracer is not None:
+                job.trace = [span.to_json()
+                             for span in tracer.snapshot()]
+        _jobs_event("completed")
+        registry = default_registry()
+        registry.histogram(
+            "si_job_wait_seconds",
+            "Seconds jobs spent queued before a worker took them.",
+        ).observe(wait)
+        registry.histogram(
+            "si_job_run_seconds",
+            "Seconds workers spent executing jobs.").observe(run)
+        self._spill(job)
 
 
 # ----------------------------------------------------------------------
@@ -450,6 +618,9 @@ class ClaimPool:
                         "battery": pool_key}
             self._cursors[pool_key] = cursor + 1
             self._claims += 1
+            default_registry().counter(
+                "si_claims_total",
+                "Benchmark names handed out by work stealing.").inc()
             return {"claimed": stored[cursor],
                     "remaining": len(stored) - cursor - 1,
                     "battery": pool_key}

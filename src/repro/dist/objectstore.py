@@ -302,6 +302,7 @@ class ObjectStoreArtifactCache:
         self.codec = resolve_codec(codec)
         self.cooldown = cooldown
         self.stats = RemoteStats()
+        self.stats.bind("s3")
         self._down_until = 0.0
         if transport is not None:
             self._transport = transport

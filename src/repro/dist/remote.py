@@ -108,6 +108,7 @@ class RemoteArtifactCache:
         self.chunk_bytes = max(1, int(chunk_bytes))
         self.codec = resolve_codec(codec)
         self.stats = RemoteStats()
+        self.stats.bind("remote")
         self._down_until = 0.0
 
     # ------------------------------------------------------------------

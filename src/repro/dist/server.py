@@ -58,21 +58,26 @@ observe a torn entry.
 
 from __future__ import annotations
 
+import functools
 import json
 import re
 import sys
 import threading
+import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import (Any, BinaryIO, Dict, Optional, Sequence, Tuple,
-                    Union)
+from typing import (Any, BinaryIO, Callable, Dict, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.dist.envelope import (HEADER_PROBE_BYTES, available_codecs,
                                  negotiate_codecs, plausible_envelope,
                                  read_header, transcode)
-from repro.dist.jobs import (DONE, FAILED, ClaimPool, JobParams,
-                             JobRequestError, JobService, QuotaExceeded)
+from repro.dist.jobs import (DEFAULT_RETAIN, DONE, FAILED, ClaimPool,
+                             JobParams, JobRequestError, JobService,
+                             QuotaExceeded)
 from repro.errors import ParseError
+from repro.obs.metrics import default_registry
+from repro.obs.trace import Tracer, current_tracer
 from repro.pipeline.store import DiskArtifactCache
 
 #: an upload larger than this is refused (413) — the biggest real
@@ -101,6 +106,66 @@ MAX_CONTROL_BYTES = 65536
 #: ``/jobs/<id>`` with an optional ``/result`` suffix; ids are the
 #: hex prefixes :func:`repro.dist.jobs.job_id_of` mints
 _JOB_PATH = re.compile(r"^/jobs/([0-9a-f]{8,64})(/result)?$")
+
+
+def _route_of(path: str) -> str:
+    """Collapse a request path to a bounded metrics label.
+
+    Raw paths carry digests and job ids — one label series per entry
+    would blow up the registry, so every path maps to one of a dozen
+    route templates."""
+    if path in ("/healthz", "/stats", "/metrics", "/jobs", "/claim",
+                "/gc", "/clear"):
+        return path
+    if path.startswith("/artifact/"):
+        return "/artifact"
+    match = _JOB_PATH.match(path)
+    if match is not None:
+        return "/jobs/<id>/result" if match.group(2) else "/jobs/<id>"
+    return "other"
+
+
+def _observed(method: Callable[["_StoreRequestHandler"], None]
+              ) -> Callable[["_StoreRequestHandler"], None]:
+    """Wrap one ``do_*`` verb with request metrics and an HTTP span.
+
+    Counts ``si_http_requests_total{method,route,status}`` and times
+    ``si_http_request_seconds{method,route}``; when the server carries
+    a tracer (or the handler thread has one active), the whole request
+    is one ``http`` span."""
+
+    @functools.wraps(method)
+    def wrapper(self: "_StoreRequestHandler") -> None:
+        route = _route_of(urllib.parse.urlsplit(self.path).path)
+        verb = self.command or method.__name__.replace("do_", "")
+        tracer = self.server.tracer or current_tracer()
+        span = (tracer.span("http", "http", method=verb, route=route)
+                if tracer is not None else None)
+        self._last_status = 0
+        start = time.perf_counter()
+        try:
+            if span is not None:
+                with span as annotations:
+                    method(self)
+                    annotations["status"] = self._last_status
+            else:
+                method(self)
+        finally:
+            seconds = time.perf_counter() - start
+            registry = default_registry()
+            registry.counter(
+                "si_http_requests_total",
+                "HTTP requests served by the daemon.",
+                ("method", "route", "status")).inc(
+                    method=verb, route=route,
+                    status=str(self._last_status or 500))
+            registry.histogram(
+                "si_http_request_seconds",
+                "Wall-clock seconds handling HTTP requests.",
+                ("method", "route")).observe(seconds, method=verb,
+                                             route=route)
+
+    return wrapper
 
 
 def _parse_range(header: Optional[str],
@@ -144,6 +209,9 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
     # the ThreadingHTTPServer subclass below carries these
     server: "ArtifactServer"
 
+    #: status of the last reply on this handler (for request metrics)
+    _last_status = 0
+
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
@@ -168,6 +236,7 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
                head_only: bool = False,
                content_length: Optional[int] = None,
                extra_headers: Optional[Dict[str, str]] = None) -> None:
+        self._last_status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         for name, value in (extra_headers or {}).items():
@@ -242,6 +311,7 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
     # GET: stats, health, ranged artifact downloads
     # ------------------------------------------------------------------
 
+    @_observed
     def do_GET(self) -> None:
         path = urllib.parse.urlsplit(self.path).path
         if path == "/healthz":
@@ -249,6 +319,9 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
             return
         if path == "/stats":
             self._reply_json(200, self.server.stats_payload())
+            return
+        if path == "/metrics":
+            self._get_metrics()
             return
         if path.startswith("/jobs/"):
             self._get_job(path)
@@ -297,6 +370,62 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         self._send_range_from(recoded, len(recoded), "identity",
                               count_bytes=False)
 
+    def _get_metrics(self) -> None:
+        """``GET /metrics`` — Prometheus text exposition.
+
+        Counters and histograms accumulate at their call sites; the
+        point-in-time gauges (queue depth, resident jobs, store
+        inventory) are set here, at scrape time, from the same sources
+        ``/stats`` reads."""
+        registry = default_registry()
+        server = self.server
+        inventory = server.store.report()
+        registry.gauge(
+            "si_store_entries",
+            "Entries resident in the daemon's disk store.",
+            ("kind",))
+        for kind, counts in sorted(inventory.by_kind.items()):
+            registry.gauge("si_store_entries", labelnames=("kind",)
+                           ).set(counts[0], kind=kind)
+        registry.gauge(
+            "si_store_stored_bytes",
+            "Bytes the disk store occupies (compressed).",
+        ).set(inventory.bytes)
+        registry.gauge(
+            "si_store_raw_bytes",
+            "Bytes the disk store's payloads decompress to.",
+        ).set(inventory.raw_bytes)
+        claims = server.claims.stats_payload()
+        registry.gauge(
+            "si_claims_batteries",
+            "Distinct claim batteries the daemon has seen.",
+        ).set(float(str(claims["batteries"])))
+        jobs = server.jobs
+        if jobs is not None:
+            payload = jobs.stats_payload()
+            registry.gauge(
+                "si_jobs_queue_depth",
+                "Jobs queued and not yet taken by a worker.",
+            ).set(float(str(payload["queue_depth"])))
+            registry.gauge(
+                "si_jobs_running",
+                "Jobs currently executing on workers.",
+            ).set(float(str(payload["running"])))
+            registry.gauge(
+                "si_jobs_workers", "Size of the job worker pool.",
+            ).set(float(str(payload["workers"])))
+            by_state = payload["by_state"]
+            resident = (sum(by_state.values())
+                        if isinstance(by_state, dict) else 0)
+            registry.gauge(
+                "si_jobs_resident",
+                "Job records resident in daemon memory (all states).",
+            ).set(resident)
+        body = registry.render_prometheus().encode("utf-8")
+        self._reply(200, body,
+                    content_type="text/plain; version=0.0.4; "
+                                 "charset=utf-8")
+
     def _send_range_from(self, source: Union[BinaryIO, bytes],
                          size: int, codec: str,
                          count_bytes: bool = True) -> None:
@@ -333,6 +462,7 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         if count_bytes:
             self.server.store.stats.add(bytes_read=sent)
 
+    @_observed
     def do_HEAD(self) -> None:
         path = urllib.parse.urlsplit(self.path).path
         if path == "/healthz":
@@ -380,6 +510,7 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
             # bare poll loop on /result works
             self._reply_json(202, job.status_payload())
 
+    @_observed
     def do_DELETE(self) -> None:
         path = urllib.parse.urlsplit(self.path).path
         match = _JOB_PATH.match(path)
@@ -454,6 +585,7 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
     # PUT: streamed atomic uploads
     # ------------------------------------------------------------------
 
+    @_observed
     def do_PUT(self) -> None:
         # Every error reply below may leave unread body bytes on the
         # socket; on a keep-alive connection they would be parsed as
@@ -539,6 +671,7 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
     # POST: remote maintenance
     # ------------------------------------------------------------------
 
+    @_observed
     def do_POST(self) -> None:
         # same keep-alive discipline as do_PUT: never reply with body
         # bytes still unread on the socket
@@ -607,7 +740,8 @@ class ArtifactServer(ThreadingHTTPServer):
                  api_keys: Optional[Sequence[str]] = None,
                  quota: int = 0,
                  request_timeout: Optional[float] = 30.0,
-                 upstream: Optional[Any] = None):
+                 upstream: Optional[Any] = None,
+                 retain_jobs: int = DEFAULT_RETAIN):
         """``workers >= 1`` enables the synthesis job service;
         ``api_keys`` locks the job API to those ``X-SI-Key`` values
         (empty = open); ``quota`` caps active jobs per tenant (0 =
@@ -615,13 +749,19 @@ class ArtifactServer(ThreadingHTTPServer):
         timeout in seconds (``None`` disables — not recommended);
         ``upstream`` is an optional shared artifact store (e.g. a
         :class:`~repro.dist.remote.RemoteArtifactCache`) tiered
-        *behind* this server's disk store for job pipelines."""
+        *behind* this server's disk store for job pipelines;
+        ``retain_jobs`` bounds finished jobs resident in memory once
+        their rows are spilled to the store (0 = keep all)."""
         self.store = DiskArtifactCache(root)
         self.verbose = verbose
         self.api_keys = frozenset(api_keys or ())
         self.request_timeout = request_timeout
         self.claims = ClaimPool()
         self.jobs: Optional[JobService] = None
+        #: an optional :class:`~repro.obs.trace.Tracer` collecting one
+        #: ``http`` span per request (handler threads are short-lived,
+        #: so the thread-local mechanism alone cannot cover them)
+        self.tracer: Optional[Tracer] = None
         if workers:
             job_store: Any = self.store
             if upstream is not None:
@@ -630,7 +770,8 @@ class ArtifactServer(ThreadingHTTPServer):
             from repro.pipeline.cache import ArtifactCache
             self.jobs = JobService(cache=ArtifactCache(disk=job_store),
                                    workers=workers,
-                                   quota=quota).start()
+                                   quota=quota,
+                                   retain=retain_jobs).start()
         self._thread: Optional[threading.Thread] = None
         super().__init__((host, port), _StoreRequestHandler)
 

@@ -37,6 +37,8 @@ from repro.errors import (CoverError, CscViolation, InsertionError,
 from repro.mapping.cost import implementation_cost
 from repro.mapping.insertion import insert_signal
 from repro.mapping.partition import IPartition, compute_insertion_sets
+from repro.obs.metrics import default_registry
+from repro.obs.trace import trace_span
 from repro.mapping.progress import (check_property_31,
                                     estimate_global_impact)
 from repro.sg.graph import StateGraph
@@ -299,6 +301,12 @@ class TechnologyMapper:
     # One decomposition step
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _count_candidate() -> None:
+        default_registry().counter(
+            "si_mapper_candidates_total",
+            "Decomposition candidate insertions tried.").inc()
+
     def _try_decompose(self, sg: StateGraph,
                        implementations: Dict[str, SignalImplementation],
                        units: List[_Unit], potential: int,
@@ -329,35 +337,51 @@ class TechnologyMapper:
                 if trials >= self.config.max_insertion_trials:
                     break
                 trials += 1
-                try:
-                    inserted = insert_signal(sg, partition, signal_name)
-                    new_sg = inserted.sg
-                    if len(new_sg) > self.config.max_states:
+                self._count_candidate()
+                with trace_span("map.candidate", "map",
+                                target=unit.label,
+                                step=step_index, trial=trials) as sp:
+                    try:
+                        inserted = insert_signal(sg, partition,
+                                                 signal_name)
+                        new_sg = inserted.sg
+                        if len(new_sg) > self.config.max_states:
+                            continue
+                        # Quick reject: the target signal itself must
+                        # make progress before paying for a full
+                        # resynthesis ("evaluate progress for
+                        # decomposition of c(a*)").
+                        target_impl = synthesize_signal(new_sg,
+                                                        unit.signal)
+                        if not self._target_improved(unit, target_impl):
+                            continue
+                        with trace_span("map.resynthesize", "map",
+                                        target=unit.label):
+                            evaluated = self._evaluate_candidate(
+                                new_sg, implementations,
+                                inserted.changes,
+                                unit, target_impl, potential,
+                                best_neutral[4]
+                                if best_neutral is not None
+                                else None)
+                    except (InsertionError, CoverError, CscViolation):
                         continue
-                    # Quick reject: the target signal itself must make
-                    # progress before paying for a full resynthesis
-                    # ("evaluate progress for decomposition of c(a*)").
-                    target_impl = synthesize_signal(new_sg, unit.signal)
-                    if not self._target_improved(unit, target_impl):
+                    if evaluated is None:
+                        continue  # rejection proven mid-resynthesis
+                    new_implementations, resynth = evaluated
+                    if not self._acknowledgment_ok(new_implementations,
+                                                   unit, signal_name):
                         continue
-                    evaluated = self._evaluate_candidate(
-                        new_sg, implementations, inserted.changes,
-                        unit, target_impl, potential,
-                        best_neutral[4] if best_neutral is not None
-                        else None)
-                except (InsertionError, CoverError, CscViolation):
-                    continue
-                if evaluated is None:
-                    continue      # rejection proven mid-resynthesis
-                new_implementations, resynth = evaluated
-                if not self._acknowledgment_ok(new_implementations,
-                                               unit, signal_name):
-                    continue
-                new_units = _units_of(new_implementations)
-                new_potential = _potential(new_units, self.library)
-                if new_potential > potential + self.config.max_regression:
-                    continue
-                if new_potential >= potential:
+                    new_units = _units_of(new_implementations)
+                    new_potential = _potential(new_units, self.library)
+                    if (new_potential
+                            > potential + self.config.max_regression):
+                        continue
+                    accepted = new_potential < potential
+                    if sp is not None:
+                        sp["outcome"] = ("accepted" if accepted
+                                         else "neutral")
+                if not accepted:
                     # Neutral/regression step: the target shrank but
                     # other covers grew by acknowledgment literals.
                     # This is the normal Property-3.2 regime (pairing

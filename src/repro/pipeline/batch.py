@@ -56,15 +56,26 @@ def _source_name(source: BatchSource) -> str:
 
 def _run_source(source: BatchSource,
                 config: PipelineConfig) -> BatchItem:
-    """Run one circuit with fault isolation (also the worker entry)."""
+    """Run one circuit with fault isolation (also the worker entry).
+
+    The ``circuit`` span only materializes on the serial path — pool
+    workers are separate processes whose tracers (if any) die with
+    them, so ``--trace`` with ``-j > 1`` records coordinator-side
+    spans only."""
+    from repro.obs.trace import trace_span
     start = time.perf_counter()
-    try:
-        record = Pipeline(config).run(source)
+    circuit = _source_name(source)
+    with trace_span(f"circuit:{circuit}", "circuit",
+                    circuit=circuit) as span:
+        try:
+            record = Pipeline(config).run(source)
+        except Exception as error:
+            if span is not None:
+                span["outcome"] = "error"
+            return BatchItem(_source_name(source), None,
+                             f"{type(error).__name__}: {error}",
+                             time.perf_counter() - start)
         return BatchItem(record.name, record, None,
-                         time.perf_counter() - start)
-    except Exception as error:
-        return BatchItem(_source_name(source), None,
-                         f"{type(error).__name__}: {error}",
                          time.perf_counter() - start)
 
 

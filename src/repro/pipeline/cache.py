@@ -21,6 +21,15 @@ if TYPE_CHECKING:
     from repro.dist.base import ArtifactStore
 
 
+def _cache_ops(op: str, amount: int = 1) -> None:
+    """Mirror a memory-layer cache event onto the process registry."""
+    from repro.obs.metrics import default_registry
+    default_registry().counter(
+        "si_cache_ops_total",
+        "Memory-layer artifact cache events.",
+        ("op",)).inc(amount, op=op)
+
+
 def content_key_of(g_text: str) -> str:
     """The cache namespace for one circuit: SHA-256 of its ``.g`` form."""
     return hashlib.sha256(g_text.encode("utf-8")).hexdigest()
@@ -71,16 +80,22 @@ class ArtifactCache:
                        compute: Callable[[], Any]) -> Any:
         """Return the cached artifact for ``key``, computing on miss."""
         while True:
+            hit = False
             with self._lock:
                 if key in self._store:
                     self.hits += 1
-                    return self._store[key]
-                pending = self._inflight.get(key)
-                if pending is None:
-                    pending = self._inflight[key] = threading.Event()
-                    owner = True
+                    value = self._store[key]
+                    hit = True
                 else:
-                    owner = False
+                    pending = self._inflight.get(key)
+                    if pending is None:
+                        pending = self._inflight[key] = threading.Event()
+                        owner = True
+                    else:
+                        owner = False
+            if hit:
+                _cache_ops("hit")
+                return value
             if not owner:
                 # Another thread is computing this key: wait for it,
                 # then re-check the store (it is absent again only if
@@ -98,6 +113,7 @@ class ArtifactCache:
                         self._store[key] = value
                         del self._inflight[key]
                     pending.set()
+                    _cache_ops("store_fill")
                     return value
             try:
                 value = compute()
@@ -111,6 +127,7 @@ class ArtifactCache:
                 self._store[key] = value
                 del self._inflight[key]
             pending.set()
+            _cache_ops("miss")
             if self.disk is not None:
                 self.disk.put(key, value)
             return value

@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.mapping.decompose import MapperConfig, MappingResult
 from repro.mapping.progress import emit_progress
+from repro.obs.metrics import default_registry
 from repro.pipeline.cache import ArtifactCache
 from repro.pipeline.context import SynthesisContext
 from repro.stg.stg import Stg
@@ -174,6 +175,10 @@ def _timed(record: RunRecord, stage: str):
     finally:
         seconds = time.perf_counter() - start
         record.timings.append(StageTiming(stage, seconds))
+        default_registry().histogram(
+            "si_stage_seconds",
+            "Wall-clock seconds per pipeline stage.",
+            ("stage",)).observe(seconds, stage=stage)
         emit_progress(stage, "done", seconds=seconds)
 
 
@@ -248,8 +253,10 @@ class Pipeline:
             record.stats.update(csc_result.stats())
         for counter, value in context.cache.telemetry().items():
             # attribute only this run's cache traffic (the cache may
-            # be shared across many runs in one process)
-            record.stats[counter] = value - cache_before[counter]
+            # be shared across many runs in one process); a counter
+            # absent from the "before" snapshot is new traffic that
+            # belongs to this run in full
+            record.stats[counter] = value - cache_before.get(counter, 0)
         if config.keep_artifacts:
             record.mappings = mappings
             record.context = context

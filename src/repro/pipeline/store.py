@@ -60,6 +60,7 @@ from repro.dist.envelope import (ARTIFACT_FORMATS,  # noqa: F401 -
                                  kind_of, raw_size_of, read_header,
                                  resolve_codec, transcode,
                                  HEADER_PROBE_BYTES)
+from repro.obs.metrics import default_registry
 
 #: sentinel distinguishing "no entry" from a stored ``None``
 MISS = object()
@@ -79,11 +80,39 @@ class _ThreadSafeCounters:
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
+        self._tier: Optional[str] = None
+
+    def bind(self, tier: str) -> None:
+        """Mirror future increments onto the process metrics registry
+        as ``si_store_ops_total{tier,op}`` / ``si_store_bytes_total``.
+
+        Binding is opt-in per instance: throwaway stats objects (the
+        zero-fill in :func:`empty_telemetry`) stay silent."""
+        self._tier = tier
 
     def add(self, **amounts: int) -> None:
         with self._lock:
             for name, amount in amounts.items():
                 setattr(self, name, getattr(self, name) + amount)
+            tier = self._tier
+        if tier is not None:
+            registry = default_registry()
+            for name, amount in amounts.items():
+                if amount <= 0:
+                    continue
+                if name in ("bytes_read", "bytes_written"):
+                    registry.counter(
+                        "si_store_bytes_total",
+                        "Bytes moved through artifact store tiers.",
+                        ("tier", "direction")).inc(
+                            amount, tier=tier,
+                            direction=("read" if name == "bytes_read"
+                                       else "written"))
+                else:
+                    registry.counter(
+                        "si_store_ops_total",
+                        "Artifact store operations by tier and outcome.",
+                        ("tier", "op")).inc(amount, tier=tier, op=name)
 
 
 @dataclass
@@ -253,6 +282,7 @@ class DiskArtifactCache:
         self.root = os.path.abspath(root)
         self.codec = resolve_codec(codec)
         self.stats = DiskStats()
+        self.stats.bind("disk")
 
     # ------------------------------------------------------------------
     # Key → path

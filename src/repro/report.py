@@ -232,7 +232,9 @@ def run_battery(names: Sequence[str],
         cache_url=cache_url, cache_s3=cache_s3), jobs=jobs)
     callback = ((lambda name: print(f"... {name}", flush=True))
                 if progress else None)
-    return runner.run(list(names), progress=callback)
+    from repro.obs.trace import trace_span
+    with trace_span("battery", "battery", circuits=len(names)):
+        return runner.run(list(names), progress=callback)
 
 
 def render_report(rows: Sequence[Table1Row],

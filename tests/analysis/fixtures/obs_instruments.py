@@ -1,0 +1,45 @@
+"""Observability fixtures: instruments mutate through their API."""
+
+import threading
+
+from repro.obs.metrics import default_registry
+
+registry = default_registry()
+
+
+def tp_direct_counter_write():
+    hits = registry.counter("si_fixture_hits_total", "fixture")
+    hits._totals[()] = 5  # expect: obs-unlocked-instrument
+    hits.count += 1  # expect: obs-unlocked-instrument
+
+
+def tp_gauge_subscript():
+    depth = default_registry().gauge("si_fixture_depth", "fixture")
+    depth._values[("a",)] += 1  # expect: obs-unlocked-instrument
+
+
+def fp_instrument_api():
+    hits = registry.counter("si_fixture_hits_total", "fixture")
+    hits.inc()
+    hits.inc(3)
+    latency = registry.histogram("si_fixture_seconds", "fixture")
+    latency.observe(0.5)
+
+
+def fp_under_lock():
+    lock = threading.Lock()
+    hist = registry.histogram("si_fixture_seconds", "fixture")
+    with lock:
+        hist._counts = {}
+
+
+def fp_rebinding_is_fine():
+    gauge = registry.gauge("si_fixture_depth", "fixture")
+    gauge.set(2)
+    gauge = None
+    return gauge
+
+
+def fp_plain_object(store):
+    store.count += 1
+    store.rows["k"] = 1

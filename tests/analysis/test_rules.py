@@ -60,6 +60,7 @@ def test_corpus_covers_all_rule_families():
         "conc-handler-shared-write", "conc-unlocked-counter",
         "pickle-unrestricted-load",
         "exc-swallow-interrupt", "exc-broad-degrade",
+        "obs-unlocked-instrument",
     }
 
 

@@ -1,0 +1,80 @@
+"""``GET /metrics`` on a live daemon: content type, exposition shape,
+and the job/http instruments a scrape must cover."""
+
+import time
+import urllib.request
+
+import pytest
+
+from repro.bench_suite import benchmark
+from repro.dist.client import ServiceClient
+from repro.dist.jobs import JobParams
+from repro.dist.server import ArtifactServer
+from repro.obs.metrics import use_registry
+from repro.stg.writer import write_g
+
+HALF_G = write_g(benchmark("half"))
+PARAMS = JobParams(libraries=(2,), with_siegel=False)
+
+
+@pytest.fixture
+def live(tmp_path):
+    with use_registry():
+        with ArtifactServer(str(tmp_path / "served"), port=0,
+                            workers=2).start_background() as server:
+            yield server
+
+
+def scrape(server):
+    with urllib.request.urlopen(server.url + "/metrics",
+                                timeout=10.0) as response:
+        return (response.headers.get("Content-Type"),
+                response.read().decode("utf-8"))
+
+
+def test_content_type_and_shape(live):
+    content_type, text = scrape(live)
+    assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+    assert text.endswith("\n")
+    lines = text.splitlines()
+    assert "# TYPE si_jobs_workers gauge" in lines
+    assert "si_jobs_workers 2" in lines
+    assert "# TYPE si_jobs_queue_depth gauge" in lines
+    # every non-comment line is `name{labels} value` or `name value`
+    for line in lines:
+        if line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        assert name and value
+        float("inf" if value == "+Inf" else value)
+
+
+def test_scrape_reflects_job_activity(live):
+    ServiceClient(live.url).submit_and_wait(HALF_G, PARAMS)
+    _, text = scrape(live)
+    assert "# TYPE si_jobs counter" in text.splitlines()
+    assert 'si_jobs_total{event="submitted"} 1' in text
+    assert 'si_jobs_total{event="completed"} 1' in text
+    assert 'si_stage_seconds_count{stage="map"} 1' in text
+    assert 'si_http_requests_total{' in text
+    # the scrape endpoint is itself instrumented; each request is
+    # recorded just after its response goes out, so allow the previous
+    # scrape's sample a moment to land
+    deadline = time.monotonic() + 5.0
+    while 'route="/metrics"' not in text:
+        assert time.monotonic() < deadline, "scrape never self-counted"
+        time.sleep(0.02)
+        _, text = scrape(live)
+
+
+def test_metrics_is_unkeyed(tmp_path):
+    """Monitoring stays open on a key-protected daemon — scrapers do
+    not carry tenant keys."""
+    with use_registry():
+        with ArtifactServer(str(tmp_path / "served"), port=0,
+                            workers=1,
+                            api_keys=("secret",)
+                            ).start_background() as live:
+            content_type, text = scrape(live)
+    assert content_type.startswith("text/plain")
+    assert "si_jobs_workers 1" in text

@@ -1,0 +1,52 @@
+"""``RunRecord.stats`` counter attribution.
+
+The pipeline snapshots cache telemetry before and after a run and
+stores the difference.  A backend may add counters to its telemetry
+dict lazily — the first S3 upload creates ``s3_puts``, say — so a
+counter can be present in the *after* snapshot only.  The regression
+here: such counters must be attributed at full value, not dropped
+(or, worse, crash the diff)."""
+
+from typing import Dict
+
+from repro.obs.metrics import use_registry
+from repro.pipeline import Pipeline, PipelineConfig
+from repro.pipeline.cache import ArtifactCache
+
+
+class LateCounterCache(ArtifactCache):
+    """Telemetry grows a counter only from the second snapshot on,
+    mimicking a backend that materializes counters on first use."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._snapshots = 0
+
+    def telemetry(self) -> Dict[str, int]:
+        counters = super().telemetry()
+        self._snapshots += 1
+        if self._snapshots >= 2:
+            counters["late_counter"] = 7
+        return counters
+
+
+def test_mid_run_counter_is_attributed_in_full():
+    with use_registry():
+        config = PipelineConfig(libraries=(2,), with_siegel=False,
+                                keep_artifacts=False)
+        record = Pipeline(config, cache=LateCounterCache()).run("half")
+    assert record.stats["late_counter"] == 7
+
+
+def test_preexisting_counters_still_diff():
+    with use_registry():
+        cache = ArtifactCache()
+        config = PipelineConfig(libraries=(2,), with_siegel=False,
+                                keep_artifacts=False)
+        pipeline = Pipeline(config, cache=cache)
+        pipeline.run("half")
+        second = pipeline.run("half")
+    # the warm second run serves everything from memory: its own diff
+    # shows hits, not misses
+    assert second.stats["cache_hits"] > 0
+    assert second.stats["cache_misses"] == 0

@@ -263,3 +263,61 @@ b+/2 a+
         header = [line for line in out.splitlines()
                   if line.startswith("circuit")][0]
         assert "csc" not in header
+
+
+class TestTracing:
+    def test_map_trace_writes_loadable_chrome_json(self, tmp_path,
+                                                   capsys):
+        trace = str(tmp_path / "run.trace.json")
+        assert main(["map", "half", "-k", "2", "--trace", trace]) == 0
+        err = capsys.readouterr().err
+        assert f"span(s) written to {trace}" in err
+        import json
+        document = json.load(open(trace))
+        events = [event for event in document["traceEvents"]
+                  if event["ph"] == "X"]
+        names = [event["name"] for event in events]
+        assert "stage:map" in names
+        assert all(event["dur"] >= 0 for event in events)
+
+    def test_report_trace_covers_each_circuit(self, tmp_path, capsys):
+        trace = str(tmp_path / "report.trace.json")
+        assert main(["report", "half", "hazard", "-k", "2",
+                     "--no-siegel", "-j", "1", "--trace", trace]) == 0
+        from repro.obs.trace import load_trace
+        names = [event["name"] for event in load_trace(trace)]
+        assert "circuit:half" in names
+        assert "circuit:hazard" in names
+
+    def test_trace_subcommand_summarizes(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.trace.json")
+        main(["map", "half", "-k", "2", "--trace", trace])
+        capsys.readouterr()
+        assert main(["trace", trace]) == 0
+        out = capsys.readouterr().out
+        assert "stage:map" in out
+        assert "total" in out
+
+    def test_trace_subcommand_tree(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.trace.json")
+        main(["map", "half", "-k", "2", "--trace", trace])
+        capsys.readouterr()
+        assert main(["trace", trace, "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "stage:load" in out
+
+    def test_trace_subcommand_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("nonsense")
+        assert main(["trace", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_failed_command_still_writes_partial_trace(self, tmp_path,
+                                                       capsys):
+        trace = str(tmp_path / "fail.trace.json")
+        assert main(["map", "no-such-benchmark",
+                     "--trace", trace]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        import os
+        assert os.path.exists(trace)
